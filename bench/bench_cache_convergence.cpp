@@ -1,0 +1,93 @@
+// E4 — cache consistency maintenance (§5.1, §6.3). After a mobile host
+// moves, every correspondent's cache entry is stale. MHRP repairs each
+// one lazily with point-to-point location updates drawn by the first
+// stale packet; Sony VIP floods invalidations to every router whether or
+// not anyone cared. This bench sweeps the correspondent population and
+// reports packets-to-repair and control-message counts for MHRP, next to
+// the flood cost the VIP model incurs on the same topology.
+#include <cstdio>
+
+#include "baselines/sony_vip.hpp"
+#include "scenario/mhrp_world.hpp"
+
+using namespace mhrp;
+
+namespace {
+
+struct Result {
+  int correspondents = 0;
+  int stale_packets = 0;     // packets sent under a stale cache
+  std::uint64_t updates = 0;  // MHRP location updates for the move
+  bool all_repaired = false;
+  std::uint64_t routers = 0;  // node count, for the flood comparison
+};
+
+Result run(int correspondents) {
+  scenario::MhrpWorldOptions options;
+  options.foreign_sites = 2;
+  options.correspondents = correspondents;
+  scenario::MhrpWorld w(options);
+  Result r;
+  r.correspondents = correspondents;
+  r.routers = 2 + w.fa_routers.size();  // home + corr + FAs
+
+  if (!w.move_and_register(0, 0)) return r;
+  auto ping = [&](node::Host& from) {
+    bool ok = false;
+    from.ping(w.mobile_address(0),
+              [&](const node::Host::PingResult& pr) { ok = pr.replied; });
+    w.topo.sim().run_for(sim::seconds(8));
+    return ok;
+  };
+  for (auto* corr : w.correspondents) {
+    if (!ping(*corr)) return r;
+  }
+
+  const std::uint64_t updates_before = w.total_updates_sent();
+  if (!w.move_and_register(0, 1)) return r;
+
+  // Each correspondent sends until its own cache points at the new FA.
+  r.all_repaired = true;
+  for (std::size_t c = 0; c < w.correspondents.size(); ++c) {
+    int attempts = 0;
+    while (attempts < 5) {
+      auto entry = w.corr_agents[c]->cache().peek(w.mobile_address(0));
+      if (entry.has_value() && *entry == w.fa_address(1)) break;
+      ++attempts;
+      ++r.stale_packets;
+      (void)ping(*w.correspondents[c]);
+    }
+    auto entry = w.corr_agents[c]->cache().peek(w.mobile_address(0));
+    if (!entry.has_value() || *entry != w.fa_address(1)) {
+      r.all_repaired = false;
+    }
+  }
+  r.updates = w.total_updates_sent() - updates_before;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: cache repair after a move — lazy updates vs flooding\n\n");
+  std::printf("  %6s | %14s %13s %9s | %s\n", "corrs", "stale packets",
+              "MHRP updates", "repaired", "VIP flood msgs (same topo)");
+  for (int correspondents : {1, 2, 4, 8, 16}) {
+    Result r = run(correspondents);
+    // VIP floods once per move over the router graph: every router
+    // forwards the invalidation to each neighbor once. On a hub topology
+    // of R routers that is ~R*(R-1) control messages per move, regardless
+    // of how many correspondents exist or care.
+    const std::uint64_t flood = r.routers * (r.routers - 1);
+    std::printf("  %6d | %14d %13llu %9s | %llu\n", r.correspondents,
+                r.stale_packets, (unsigned long long)r.updates,
+                r.all_repaired ? "all" : "NOT ALL",
+                (unsigned long long)flood);
+  }
+  std::printf(
+      "\n  MHRP control traffic scales with the number of *interested*\n"
+      "  correspondents (one stale packet each, a handful of updates);\n"
+      "  the VIP flood scales with the router population and still\n"
+      "  leaves sender caches stale (paper §7).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E8 — handoff behavior (§3). A correspondent streams 20 ms CBR to the
+// mobile host, which hops between two cells. Packets in flight during the
+// move are lost until discovery + registration + cache repair complete.
+// Swept: the agent advertisement period (the knob §3 exposes), with and
+// without solicitation on attach, and with and without the old FA's
+// forwarding pointer (§2).
+#include <cstdio>
+
+#include "scenario/mhrp_world.hpp"
+#include "scenario/workload.hpp"
+
+using namespace mhrp;
+
+namespace {
+
+struct Result {
+  double loss_per_handoff = 0;
+  double delivery_pct = 0;
+  bool ok = false;
+};
+
+Result run(sim::Time adv_period, bool solicit, bool pointers) {
+  scenario::MhrpWorldOptions options;
+  options.foreign_sites = 2;
+  options.advertisement_period = adv_period;
+  options.forwarding_pointers = pointers;
+  options.solicit_on_attach = solicit;
+  scenario::MhrpWorld w(options);
+  Result result;
+  if (!w.move_and_register(0, 0)) return result;
+
+  std::uint64_t received = 0;
+  w.mobiles[0]->bind_udp(9000, [&](const net::UdpDatagram&,
+                                   const net::IpHeader&, net::Interface&) {
+    ++received;
+  });
+  scenario::CbrFlow flow(*w.correspondents[0], w.mobile_address(0), 9000, 64,
+                         sim::millis(20));
+  flow.start();
+  w.topo.sim().run_for(sim::seconds(2));
+
+  constexpr int kHandoffs = 6;
+  for (int h = 0; h < kHandoffs; ++h) {
+    if (!w.move_and_register(0, (h + 1) % 2)) return result;
+    w.topo.sim().run_for(sim::seconds(2));
+  }
+  flow.stop();
+  w.topo.sim().run_for(sim::seconds(2));
+
+  const std::uint64_t sent = flow.sent();
+  result.loss_per_handoff = double(sent - received) / kHandoffs;
+  result.delivery_pct = 100.0 * double(received) / double(sent);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: handoff loss vs advertisement period (50 pkt/s CBR, "
+              "6 handoffs)\n\n");
+  std::printf("  %10s %9s %9s | %16s %10s\n", "adv period", "solicit",
+              "fwd ptrs", "lost/handoff", "delivered");
+  for (sim::Time period : {sim::millis(250), sim::millis(500),
+                           sim::seconds(1), sim::seconds(2)}) {
+    for (bool solicit : {true, false}) {
+      for (bool pointers : {true, false}) {
+        Result r = run(period, solicit, pointers);
+        if (!r.ok) {
+          std::printf("  %8.2fs %9s %9s | run failed\n",
+                      sim::to_seconds(period), solicit ? "yes" : "no",
+                      pointers ? "on" : "off");
+          continue;
+        }
+        std::printf("  %8.2fs %9s %9s | %16.1f %9.1f%%\n",
+                    sim::to_seconds(period), solicit ? "yes" : "no",
+                    pointers ? "on" : "off", r.loss_per_handoff,
+                    r.delivery_pct);
+      }
+    }
+  }
+  std::printf(
+      "\n  With solicitation, discovery is immediate and loss is just the\n"
+      "  in-flight packet at detach. Waiting for the periodic advertisement\n"
+      "  couples the loss window directly to the advertisement period —\n"
+      "  the paper's reason for offering solicitation (§3).\n");
+  return 0;
+}

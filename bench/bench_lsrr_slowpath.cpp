@@ -1,0 +1,115 @@
+// E9 — the §7 fast-path argument against LSRR-based mobility: "any IP
+// packet containing an IP option requires extra processing at each router
+// that forwards the packet and cannot use the 'fast path'". Measured two
+// ways:
+//   * codec level — decoding a datagram with and without an LSRR option
+//     (the per-router parse cost the paper describes);
+//   * stack level — a router forwarding a datagram end to end through
+//     the simulated pipeline, with and without the option.
+#include <benchmark/benchmark.h>
+
+#include "net/packet.hpp"
+#include "net/udp.hpp"
+#include "scenario/topology.hpp"
+
+using namespace mhrp;
+
+namespace {
+
+std::vector<std::uint8_t> wire_packet(bool with_lsrr) {
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = net::IpAddress::parse("10.1.0.10");
+  h.dst = net::IpAddress::parse("10.2.0.10");
+  if (with_lsrr) {
+    h.options.push_back(
+        net::make_lsrr_option({net::IpAddress::parse("10.3.0.1")}, 0));
+  }
+  std::vector<std::uint8_t> payload(64, 0x42);
+  return net::Packet(h, net::encode_udp({1, 2}, payload)).serialize();
+}
+
+void BM_DecodeNoOptions(benchmark::State& state) {
+  auto wire = wire_packet(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Packet::deserialize(wire));
+  }
+}
+BENCHMARK(BM_DecodeNoOptions);
+
+void BM_DecodeWithLsrr(benchmark::State& state) {
+  auto wire = wire_packet(true);
+  for (auto _ : state) {
+    auto p = net::Packet::deserialize(wire);
+    // The router must examine the option to know whether it affects
+    // forwarding — parse it, as a real slow path does.
+    benchmark::DoNotOptimize(net::parse_lsrr_option(
+        *p.header().find_option(net::IpOptionKind::kLooseSourceRoute)));
+  }
+}
+BENCHMARK(BM_DecodeWithLsrr);
+
+// Full forwarding pipeline through a simulated router.
+struct ForwardWorld {
+  scenario::Topology topo;
+  node::Router* router;
+  node::Host* a;
+  node::Host* b;
+
+  ForwardWorld() {
+    auto& lan1 = topo.add_link("lan1", sim::micros(1));
+    auto& lan2 = topo.add_link("lan2", sim::micros(1));
+    router = &topo.add_router("R");
+    a = &topo.add_host("A");
+    b = &topo.add_host("B");
+    topo.connect(*router, lan1, net::IpAddress::parse("10.1.0.1"), 24);
+    topo.connect(*router, lan2, net::IpAddress::parse("10.2.0.1"), 24);
+    topo.connect(*a, lan1, net::IpAddress::parse("10.1.0.10"), 24);
+    topo.connect(*b, lan2, net::IpAddress::parse("10.2.0.10"), 24);
+    topo.install_static_routes();
+    b->bind_udp(2, [](const net::UdpDatagram&, const net::IpHeader&,
+                      net::Interface&) {});
+    // Warm ARP caches so the measurement is pure forwarding.
+    std::vector<std::uint8_t> probe{1};
+    a->send_udp(net::IpAddress::parse("10.2.0.10"), 1, 2, probe);
+    topo.sim().run();
+  }
+
+  void send(bool with_lsrr) {
+    net::IpHeader h;
+    h.protocol = net::to_u8(net::IpProto::kUdp);
+    h.dst = net::IpAddress::parse("10.2.0.10");
+    if (with_lsrr) {
+      // A waypoint already passed: pointer beyond the route, so the
+      // packet forwards normally but carries the option bytes.
+      h.options.push_back(net::make_lsrr_option(
+          {net::IpAddress::parse("10.1.0.1")}, 1));
+    }
+    std::vector<std::uint8_t> payload(64, 0x42);
+    net::Packet p(h, net::encode_udp({1, 2}, payload));
+    a->send_ip(std::move(p));
+    topo.sim().run();
+  }
+};
+
+void BM_ForwardNoOptions(benchmark::State& state) {
+  ForwardWorld world;
+  for (auto _ : state) {
+    world.send(false);
+  }
+  state.counters["slow_path_hits"] = double(
+      world.router->counters().options_slow_path);
+}
+BENCHMARK(BM_ForwardNoOptions);
+
+void BM_ForwardWithLsrr(benchmark::State& state) {
+  ForwardWorld world;
+  for (auto _ : state) {
+    world.send(true);
+  }
+  state.counters["slow_path_hits"] = double(
+      world.router->counters().options_slow_path);
+}
+BENCHMARK(BM_ForwardWithLsrr);
+
+}  // namespace

@@ -1,0 +1,271 @@
+#include "baselines/columbia_ipip.hpp"
+
+#include "net/udp.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::baselines {
+
+using net::IpAddress;
+using net::Packet;
+
+namespace {
+
+enum class MsrOp : std::uint8_t {
+  kWhoServes = 1,   // multicast query: which MSR serves host X?
+  kIServe = 2,      // answer
+  kRegister = 3,    // mobile host → MSR
+};
+
+struct MsrMessage {
+  MsrOp op = MsrOp::kWhoServes;
+  IpAddress mobile_host;
+  IpAddress msr;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    util::ByteWriter w(9);
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u32(mobile_host.raw());
+    w.u32(msr.raw());
+    return w.take();
+  }
+  static MsrMessage decode(std::span<const std::uint8_t> wire) {
+    util::ByteReader r(wire);
+    MsrMessage m;
+    m.op = static_cast<MsrOp>(r.u8());
+    m.mobile_host = IpAddress(r.u32());
+    m.msr = IpAddress(r.u32());
+    return m;
+  }
+};
+
+}  // namespace
+
+Packet ipip_encapsulate(const Packet& inner, IpAddress outer_src,
+                        IpAddress outer_dst) {
+  net::IpHeader outer;
+  outer.protocol = net::to_u8(net::IpProto::kIpInIp);
+  outer.src = outer_src;
+  outer.dst = outer_dst;
+
+  util::ByteWriter w(IpipShim::kSize + inner.wire_size());
+  IpipShim shim;
+  w.u8(shim.version);
+  w.u8(shim.flags);
+  w.u16(shim.reserved);
+  auto inner_bytes = inner.serialize();
+  w.bytes(inner_bytes);
+
+  Packet p(outer, w.take());
+  p.set_flow_id(inner.flow_id());
+  p.set_created_at(inner.created_at());
+  p.set_base_payload_size(inner.base_payload_size());
+  // Carry forward accounting so end-to-end overhead is measured across
+  // both the clear and the tunneled segments.
+  p.note_wire_crossing(inner.max_wire_size());
+  return p;
+}
+
+Packet ipip_decapsulate(const Packet& outer) {
+  util::ByteReader r(outer.payload());
+  r.skip(IpipShim::kSize);
+  Packet inner = Packet::deserialize(r.rest());
+  inner.set_flow_id(outer.flow_id());
+  inner.set_created_at(outer.created_at());
+  inner.set_base_payload_size(outer.base_payload_size());
+  inner.note_wire_crossing(outer.max_wire_size());
+  return inner;
+}
+
+// ---- Msr ----
+
+Msr::Msr(node::Node& node, net::Interface& local_iface)
+    : node_(node), local_iface_(local_iface) {
+  node_.add_interceptor([this](Packet& p, net::Interface& in) {
+    return on_forward(p, in);
+  });
+  node_.set_protocol_handler(net::IpProto::kIpInIp,
+                             [this](Packet& p, net::Interface& in) {
+                               on_ipip(p, in);
+                             });
+  node_.bind_udp(kMsrPort,
+                 [this](const net::UdpDatagram& d, const net::IpHeader& h,
+                        net::Interface&) { on_udp(d, h); });
+}
+
+void Msr::add_campus_host(IpAddress mobile_host) {
+  campus_hosts_[mobile_host] = true;
+}
+
+void Msr::attach_visitor(IpAddress mobile_host) {
+  visiting_[mobile_host] = true;
+  serving_cache_[mobile_host] = node_.primary_address();
+}
+
+void Msr::detach_visitor(IpAddress mobile_host) {
+  visiting_.erase(mobile_host);
+}
+
+void Msr::set_offsite_address(IpAddress mobile_host, IpAddress temp_addr) {
+  offsite_[mobile_host] = temp_addr;
+}
+
+void Msr::clear_offsite_address(IpAddress mobile_host) {
+  offsite_.erase(mobile_host);
+}
+
+node::Intercept Msr::on_forward(Packet& packet, net::Interface& in) {
+  (void)in;
+  const IpAddress dst = packet.header().dst;
+  if (campus_hosts_.count(dst) == 0) return node::Intercept::kContinue;
+
+  if (visiting_.count(dst) > 0) {
+    // The host is on our own network right now: deliver directly.
+    ++stats_.delivered;
+    node_.send_ip_on(local_iface_, std::move(packet), dst);
+    return node::Intercept::kConsumed;
+  }
+  auto offsite = offsite_.find(dst);
+  if (offsite != offsite_.end()) {
+    // Off campus: tunnel to the temporary address; every packet takes the
+    // triangle through this home MSR (no optimization, paper §7).
+    tunnel_to(offsite->second, std::move(packet));
+    return node::Intercept::kConsumed;
+  }
+  auto cached = serving_cache_.find(dst);
+  if (cached != serving_cache_.end()) {
+    tunnel_to(cached->second, std::move(packet));
+    return node::Intercept::kConsumed;
+  }
+  discover_and_hold(dst, std::move(packet));
+  return node::Intercept::kConsumed;
+}
+
+void Msr::tunnel_to(IpAddress target, Packet inner) {
+  ++stats_.tunnels_built;
+  node_.send_ip(ipip_encapsulate(inner, node_.primary_address(), target));
+}
+
+void Msr::discover_and_hold(IpAddress mobile_host, Packet packet) {
+  ++stats_.packets_held;
+  held_[mobile_host].push_back(std::move(packet));
+  // The Columbia protocol multicasts among the MSRs; we model the
+  // multicast as unicast fan-out, which is what it costs on a backbone
+  // without multicast routing (and what the paper's scalability critique
+  // counts).
+  MsrMessage q;
+  q.op = MsrOp::kWhoServes;
+  q.mobile_host = mobile_host;
+  q.msr = node_.primary_address();
+  auto bytes = q.encode();
+  for (IpAddress peer : peers_) {
+    if (peer == node_.primary_address()) continue;
+    ++stats_.queries_multicast;
+    node_.send_udp(peer, kMsrPort, kMsrPort, bytes);
+  }
+}
+
+void Msr::on_ipip(Packet& packet, net::Interface& in) {
+  (void)in;
+  Packet inner;
+  try {
+    inner = ipip_decapsulate(packet);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  const IpAddress dst = inner.header().dst;
+  if (visiting_.count(dst) > 0) {
+    ++stats_.delivered;
+    node_.send_ip_on(local_iface_, std::move(inner), dst);
+    return;
+  }
+  // Not here (stale cache at the home MSR): re-resolve from scratch.
+  if (campus_hosts_.count(dst) > 0 || serving_cache_.count(dst) > 0) {
+    serving_cache_.erase(dst);
+    discover_and_hold(dst, std::move(inner));
+  }
+}
+
+void Msr::on_udp(const net::UdpDatagram& datagram,
+                 const net::IpHeader& header) {
+  MsrMessage m;
+  try {
+    m = MsrMessage::decode(datagram.data);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  switch (m.op) {
+    case MsrOp::kWhoServes: {
+      if (visiting_.count(m.mobile_host) == 0) return;
+      ++stats_.queries_answered;
+      MsrMessage reply;
+      reply.op = MsrOp::kIServe;
+      reply.mobile_host = m.mobile_host;
+      reply.msr = node_.primary_address();
+      auto bytes = reply.encode();
+      node_.send_udp(header.src, kMsrPort, kMsrPort, bytes);
+      return;
+    }
+    case MsrOp::kIServe: {
+      serving_cache_[m.mobile_host] = m.msr;
+      auto held = held_.find(m.mobile_host);
+      if (held == held_.end()) return;
+      auto packets = std::move(held->second);
+      held_.erase(held);
+      for (Packet& p : packets) tunnel_to(m.msr, std::move(p));
+      return;
+    }
+    case MsrOp::kRegister: {
+      attach_visitor(m.mobile_host);
+      return;
+    }
+  }
+}
+
+// ---- ColumbiaMobileHost ----
+
+ColumbiaMobileHost::ColumbiaMobileHost(node::Host& host, IpAddress home_msr)
+    : host_(host), home_msr_(home_msr) {
+  host_.set_protocol_handler(net::IpProto::kIpInIp,
+                             [this](Packet& p, net::Interface&) {
+                               on_ipip(p);
+                             });
+}
+
+void ColumbiaMobileHost::register_with_msr(IpAddress msr) {
+  if (!temp_addr_.is_unspecified()) {
+    host_.remove_address_alias(temp_addr_);
+    temp_addr_ = net::kUnspecified;
+  }
+  MsrMessage m;
+  m.op = MsrOp::kRegister;
+  m.mobile_host = host_.primary_address();
+  m.msr = msr;
+  auto bytes = m.encode();
+  // Registration goes to the local MSR directly on the attached link.
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = host_.primary_address();
+  h.dst = msr;
+  Packet p(h, net::encode_udp({kMsrPort, kMsrPort}, bytes));
+  for (const auto& iface : host_.interfaces()) {
+    if (iface->attached()) {
+      host_.send_ip_on(*iface, std::move(p), msr);
+      break;
+    }
+  }
+}
+
+void ColumbiaMobileHost::register_offsite(IpAddress temp_addr) {
+  temp_addr_ = temp_addr;
+  host_.add_address_alias(temp_addr);
+}
+
+void ColumbiaMobileHost::on_ipip(Packet& packet) {
+  try {
+    Packet inner = ipip_decapsulate(packet);
+    host_.send_ip(std::move(inner));  // loops back into local delivery
+  } catch (const util::CodecError&) {
+  }
+}
+
+}  // namespace mhrp::baselines

@@ -1,0 +1,131 @@
+// Baseline 2 (paper §7): Ioannidis et al., Columbia University —
+// "IP-based protocols for mobile internetworking" (SIGCOMM '91).
+//
+// A set of Mobile Support Routers (MSRs) on the home campus advertise
+// reachability to *all* of the campus's mobile hosts. A packet for a
+// mobile host reaches some home MSR, which tunnels it IP-within-IP to the
+// MSR currently serving the host. Properties the paper contrasts with
+// MHRP, all reproduced here:
+//
+//  * 24 bytes of overhead per tunneled packet (a full new IP header plus
+//    the IPIP shim) versus MHRP's 8/12 — measured by bench_overhead from
+//    real serialized packets;
+//  * when the serving MSR is not cached, the home MSR must discover it by
+//    multicasting a query to every other MSR — control traffic that grows
+//    with the MSR population (bench_scalability);
+//  * optimized for movement inside the home campus: a host that leaves
+//    the campus must obtain a temporary IP address, and every packet to
+//    it is routed through its home MSR with no route optimization
+//    (bench_route_optimization's "triangle forever" series).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "node/host.hpp"
+
+namespace mhrp::baselines {
+
+/// UDP port for MSR↔MSR queries and host registrations.
+inline constexpr std::uint16_t kMsrPort = 5310;
+
+/// The 4-octet shim following the outer IP header of an IPIP tunnel
+/// packet, making the total added overhead 20 + 4 = 24 octets as the
+/// paper states.
+struct IpipShim {
+  std::uint8_t version = 1;
+  std::uint8_t flags = 0;
+  std::uint16_t reserved = 0;
+
+  static constexpr std::size_t kSize = 4;
+};
+
+/// Encapsulate `inner` IP-within-IP: the returned packet has a fresh
+/// outer header src→dst and carries shim + serialized inner datagram.
+[[nodiscard]] net::Packet ipip_encapsulate(const net::Packet& inner,
+                                           net::IpAddress outer_src,
+                                           net::IpAddress outer_dst);
+
+/// Recover the inner datagram; throws util::CodecError if malformed.
+[[nodiscard]] net::Packet ipip_decapsulate(const net::Packet& outer);
+
+/// A Mobile Support Router. Every MSR of a campus knows its peers (the
+/// multicast group); home MSRs intercept packets for the campus's mobile
+/// hosts.
+class Msr {
+ public:
+  Msr(node::Node& node, net::Interface& local_iface);
+
+  /// Declare a mobile host as belonging to this campus (this MSR
+  /// advertises reachability for it even while it roams).
+  void add_campus_host(net::IpAddress mobile_host);
+
+  /// Peers that participate in the serving-MSR discovery multicast.
+  void set_peers(std::vector<net::IpAddress> peers) {
+    peers_ = std::move(peers);
+  }
+
+  /// Registration by a mobile host now attached to this MSR's network.
+  void attach_visitor(net::IpAddress mobile_host);
+  void detach_visitor(net::IpAddress mobile_host);
+  [[nodiscard]] bool is_visiting(net::IpAddress mobile_host) const {
+    return visiting_.count(mobile_host) > 0;
+  }
+
+  /// A campus host moved out of campus entirely: all its packets tunnel
+  /// to this temporary address (no optimization, paper §7).
+  void set_offsite_address(net::IpAddress mobile_host,
+                           net::IpAddress temp_addr);
+  void clear_offsite_address(net::IpAddress mobile_host);
+
+  struct Stats {
+    std::uint64_t tunnels_built = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t queries_multicast = 0;   // MSR-discovery fan-out messages
+    std::uint64_t queries_answered = 0;
+    std::uint64_t packets_held = 0;        // awaiting discovery
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  node::Intercept on_forward(net::Packet& packet, net::Interface& in);
+  void on_ipip(net::Packet& packet, net::Interface& in);
+  void on_udp(const net::UdpDatagram& datagram, const net::IpHeader& header);
+  void tunnel_to(net::IpAddress target_msr, net::Packet inner);
+  void discover_and_hold(net::IpAddress mobile_host, net::Packet packet);
+
+  node::Node& node_;
+  net::Interface& local_iface_;
+  std::vector<net::IpAddress> peers_;
+  std::map<net::IpAddress, bool> campus_hosts_;
+  std::map<net::IpAddress, bool> visiting_;
+  std::map<net::IpAddress, net::IpAddress> serving_cache_;  // host → MSR
+  std::map<net::IpAddress, net::IpAddress> offsite_;        // host → temp addr
+  std::map<net::IpAddress, std::vector<net::Packet>> held_;
+  Stats stats_;
+};
+
+/// Mobile-host side: registers with the local MSR on each move. When the
+/// host leaves the campus it must obtain a temporary address in the
+/// visited network (contrast with MHRP, which never needs one).
+class ColumbiaMobileHost {
+ public:
+  ColumbiaMobileHost(node::Host& host, net::IpAddress home_msr);
+
+  /// Attached to a campus network served by `msr`.
+  void register_with_msr(net::IpAddress msr);
+
+  /// Out-of-campus: `temp_addr` was acquired in the visited network and
+  /// the home MSR told to tunnel there. The host decapsulates locally.
+  void register_offsite(net::IpAddress temp_addr);
+
+ private:
+  void on_ipip(net::Packet& packet);
+
+  node::Host& host_;
+  net::IpAddress home_msr_;
+  net::IpAddress temp_addr_;
+};
+
+}  // namespace mhrp::baselines

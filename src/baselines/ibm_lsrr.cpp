@@ -1,0 +1,140 @@
+#include "baselines/ibm_lsrr.hpp"
+
+#include <algorithm>
+
+#include "net/udp.hpp"
+
+namespace mhrp::baselines {
+
+using net::IpAddress;
+using net::Packet;
+
+// ---- BaseStation ----
+
+BaseStation::BaseStation(node::Node& node, net::Interface& local_iface)
+    : node_(node), local_iface_(local_iface) {
+  node_.add_local_interceptor([this](Packet& p, net::Interface& in) {
+    return on_local(p, in);
+  });
+}
+
+void BaseStation::add_visitor(IpAddress mobile_host) {
+  visiting_.insert(mobile_host);
+  known_mobiles_.insert(mobile_host);
+}
+
+void BaseStation::remove_visitor(IpAddress mobile_host) {
+  visiting_.erase(mobile_host);
+}
+
+node::Intercept BaseStation::on_local(Packet& packet, net::Interface& in) {
+  (void)in;
+  auto* option =
+      packet.header().find_option(net::IpOptionKind::kLooseSourceRoute);
+  if (option == nullptr) return node::Intercept::kContinue;
+  net::LsrrView view;
+  try {
+    view = net::parse_lsrr_option(*option);
+  } catch (const util::CodecError&) {
+    return node::Intercept::kContinue;
+  }
+  if (view.pointer_index >= view.route.size()) {
+    return node::Intercept::kContinue;  // exhausted: genuinely for us
+  }
+  const IpAddress next = view.route[view.pointer_index];
+
+  if (known_mobiles_.count(next) > 0 && visiting_.count(next) == 0) {
+    // A correspondent is still using a recorded route through us for a
+    // mobile host that moved away.
+    ++stats_.unreachable_returned;
+    node_.send_icmp_error(
+        packet, net::IcmpUnreachable{net::UnreachCode::kHostUnreachable, {}});
+    return node::Intercept::kConsumed;
+  }
+
+  // RFC 791 LSRR hop: swap destination and next entry, recording our own
+  // address in the slot, and advance the pointer.
+  view.route[view.pointer_index] = packet.header().dst;
+  ++view.pointer_index;
+  *option = net::make_lsrr_option(view.route, view.pointer_index);
+  packet.header().dst = next;
+
+  if (visiting_.count(next) > 0) {
+    ++stats_.relayed_inbound;
+    node_.send_ip_on(local_iface_, std::move(packet), next);
+  } else {
+    ++stats_.relayed_outbound;
+    node_.send_ip(std::move(packet));
+  }
+  return node::Intercept::kConsumed;
+}
+
+// ---- IbmMobileHost ----
+
+IbmMobileHost::IbmMobileHost(node::Host& host) : host_(host) {}
+
+void IbmMobileHost::send(IpAddress dst, std::uint16_t dst_port,
+                         std::vector<std::uint8_t> data) {
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = host_.primary_address();
+  if (base_station_.is_unspecified()) {
+    h.dst = dst;  // at home: plain IP, no option, no overhead
+  } else {
+    h.dst = base_station_;
+    h.options.push_back(net::make_lsrr_option({dst}, 0));
+  }
+  Packet p(h, net::encode_udp({dst_port, dst_port}, data));
+  p.set_base_payload_size(p.payload().size());
+  host_.send_ip(std::move(p));
+}
+
+// ---- IbmCorrespondent ----
+
+IbmCorrespondent::IbmCorrespondent(node::Host& host, bool faithful)
+    : host_(host), faithful_(faithful) {
+  // Observe LSRR-bearing packets as they are delivered and save the
+  // reversed route (non-consuming).
+  host_.add_local_interceptor([this](Packet& p, net::Interface&) {
+    if (!faithful_) return node::Intercept::kContinue;
+    const auto* option =
+        p.header().find_option(net::IpOptionKind::kLooseSourceRoute);
+    if (option == nullptr) return node::Intercept::kContinue;
+    try {
+      net::LsrrView view = net::parse_lsrr_option(*option);
+      if (view.pointer_index < view.route.size()) {
+        return node::Intercept::kContinue;  // still in transit, not ours
+      }
+      // Recorded route holds the hops the packet came through; reverse
+      // it for replies to the original source.
+      std::vector<IpAddress> reversed(view.route.rbegin(), view.route.rend());
+      reverse_routes_[p.header().src] = std::move(reversed);
+    } catch (const util::CodecError&) {
+    }
+    return node::Intercept::kContinue;
+  });
+}
+
+void IbmCorrespondent::send(IpAddress dst, std::uint16_t dst_port,
+                            std::vector<std::uint8_t> data) {
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = host_.primary_address();
+
+  auto it = faithful_ ? reverse_routes_.find(dst) : reverse_routes_.end();
+  if (it != reverse_routes_.end() && !it->second.empty()) {
+    // First recorded hop (the base station) becomes the IP destination;
+    // the remaining hops plus the true destination ride in the option.
+    h.dst = it->second.front();
+    std::vector<IpAddress> rest(it->second.begin() + 1, it->second.end());
+    rest.push_back(dst);
+    h.options.push_back(net::make_lsrr_option(rest, 0));
+  } else {
+    h.dst = dst;  // no saved route: plain IP toward the home network
+  }
+  Packet p(h, net::encode_udp({dst_port, dst_port}, data));
+  p.set_base_payload_size(p.payload().size());
+  host_.send_ip(std::move(p));
+}
+
+}  // namespace mhrp::baselines

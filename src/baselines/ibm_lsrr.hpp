@@ -1,0 +1,111 @@
+// Baseline 5 (paper §7): Perkins & Rekhter, IBM — mobility via the IP
+// "loose source route and record" (LSRR) option.
+//
+// Each mobile host registers with a base station in the visited network.
+// Everything the mobile host sends goes through the base station with an
+// LSRR option, so the recorded route at the receiver names the path back
+// through the base station; receivers save and reverse that route for
+// their replies. Properties the paper criticizes, all reproduced:
+//
+//  * 8 bytes of option per packet in each direction (sender→mobile AND
+//    mobile→sender) — measured by bench_overhead;
+//  * option-bearing packets leave the router fast path: every forwarding
+//    router must parse the options (the Node::Counters::options_slow_path
+//    counter; bench_lsrr_slowpath measures the cycle cost);
+//  * after a move, correspondents keep using the stale recorded route to
+//    the old base station "until some application on that host needs to
+//    send a normal IP packet to that destination" — i.e. until the mobile
+//    host itself sends again (integration-tested).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "node/host.hpp"
+
+namespace mhrp::baselines {
+
+/// A base station: relays source-routed packets in both directions —
+/// inbound to visiting mobile hosts, outbound from them toward the rest
+/// of the internetwork.
+class BaseStation {
+ public:
+  BaseStation(node::Node& node, net::Interface& local_iface);
+
+  void add_visitor(net::IpAddress mobile_host);
+  void remove_visitor(net::IpAddress mobile_host);
+  [[nodiscard]] bool is_visiting(net::IpAddress mobile_host) const {
+    return visiting_.count(mobile_host) > 0;
+  }
+  /// Addresses known to be mobile hosts (visiting or not); packets
+  /// source-routed to a known-but-absent mobile host get "host
+  /// unreachable" rather than a doomed onward relay.
+  void add_known_mobile(net::IpAddress mobile_host) {
+    known_mobiles_.insert(mobile_host);
+  }
+
+  struct Stats {
+    std::uint64_t relayed_inbound = 0;
+    std::uint64_t relayed_outbound = 0;
+    std::uint64_t unreachable_returned = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  node::Intercept on_local(net::Packet& packet, net::Interface& in);
+
+  node::Node& node_;
+  net::Interface& local_iface_;
+  std::set<net::IpAddress> visiting_;
+  std::set<net::IpAddress> known_mobiles_;
+  Stats stats_;
+};
+
+/// Mobile-host side: sends everything through the current base station
+/// with an LSRR option naming the true destination.
+class IbmMobileHost {
+ public:
+  explicit IbmMobileHost(node::Host& host);
+
+  /// Register with (move to) a base station.
+  void set_base_station(net::IpAddress base_station) {
+    base_station_ = base_station;
+  }
+  [[nodiscard]] net::IpAddress base_station() const { return base_station_; }
+
+  /// Send a UDP datagram to `dst` via the base station, LSRR-routed so
+  /// the receiver learns the return path.
+  void send(net::IpAddress dst, std::uint16_t dst_port,
+            std::vector<std::uint8_t> data);
+
+ private:
+  node::Host& host_;
+  net::IpAddress base_station_;
+};
+
+/// Correspondent-side: records the reversed LSRR route of everything it
+/// receives and replies along it — "hosts receiving a packet containing
+/// an LSRR option are supposed to save and reverse the recorded route"
+/// (paper §7). The paper notes many real stacks got this wrong; the
+/// `faithful` flag reproduces a broken stack that ignores the option,
+/// so replies go to the mobile host's home network and die.
+class IbmCorrespondent {
+ public:
+  explicit IbmCorrespondent(node::Host& host, bool faithful = true);
+
+  /// Send a UDP datagram, using the saved reverse route when one exists.
+  void send(net::IpAddress dst, std::uint16_t dst_port,
+            std::vector<std::uint8_t> data);
+
+  [[nodiscard]] bool has_route_to(net::IpAddress dst) const {
+    return reverse_routes_.count(dst) > 0;
+  }
+
+ private:
+  node::Host& host_;
+  bool faithful_;
+  std::map<net::IpAddress, std::vector<net::IpAddress>> reverse_routes_;
+};
+
+}  // namespace mhrp::baselines

@@ -1,0 +1,205 @@
+#include "baselines/matsushita_iptp.hpp"
+
+#include "net/udp.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/checksum.hpp"
+
+namespace mhrp::baselines {
+
+using net::IpAddress;
+using net::Packet;
+
+namespace {
+
+struct PfsControl {
+  IpAddress mobile_host;
+  IpAddress temp_addr;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    util::ByteWriter w(8);
+    w.u32(mobile_host.raw());
+    w.u32(temp_addr.raw());
+    return w.take();
+  }
+  static PfsControl decode(std::span<const std::uint8_t> wire) {
+    util::ByteReader r(wire);
+    PfsControl m;
+    m.mobile_host = IpAddress(r.u32());
+    m.temp_addr = IpAddress(r.u32());
+    return m;
+  }
+};
+
+}  // namespace
+
+Packet iptp_encapsulate(const Packet& inner, IpAddress outer_src,
+                        IpAddress outer_dst, IpAddress mobile_host,
+                        bool autonomous) {
+  util::ByteWriter w(IptpHeader::kSize + inner.wire_size());
+  IptpHeader h;
+  h.mode = autonomous ? 1 : 0;
+  h.mobile_host = mobile_host;
+  w.u8(h.version);
+  w.u8(h.mode);
+  w.u16(0);  // checksum placeholder
+  w.u32(h.session);
+  w.u32(h.sequence);
+  w.u32(h.mobile_host.raw());
+  w.u32(h.reserved);
+  w.patch_u16(2, util::internet_checksum(
+                     w.view().subspan(0, IptpHeader::kSize)));
+  auto inner_bytes = inner.serialize();
+  w.bytes(inner_bytes);
+
+  net::IpHeader outer;
+  outer.protocol = net::to_u8(net::IpProto::kIptp);
+  outer.src = outer_src;
+  outer.dst = outer_dst;
+  Packet p(outer, w.take());
+  p.set_flow_id(inner.flow_id());
+  p.set_created_at(inner.created_at());
+  p.set_base_payload_size(inner.base_payload_size());
+  p.note_wire_crossing(inner.max_wire_size());
+  return p;
+}
+
+IptpDecapsulated iptp_decapsulate(const Packet& outer) {
+  if (outer.payload().size() < IptpHeader::kSize) {
+    throw util::CodecError("truncated IPTP header");
+  }
+  if (!util::checksum_ok(
+          std::span(outer.payload()).subspan(0, IptpHeader::kSize))) {
+    throw util::CodecError("IPTP checksum mismatch");
+  }
+  util::ByteReader r(outer.payload());
+  IptpDecapsulated d;
+  d.header.version = r.u8();
+  d.header.mode = r.u8();
+  r.skip(2);
+  d.header.session = r.u32();
+  d.header.sequence = r.u32();
+  d.header.mobile_host = IpAddress(r.u32());
+  d.header.reserved = r.u32();
+  d.inner = Packet::deserialize(r.rest());
+  d.inner.set_flow_id(outer.flow_id());
+  d.inner.set_created_at(outer.created_at());
+  d.inner.set_base_payload_size(outer.base_payload_size());
+  d.inner.note_wire_crossing(outer.max_wire_size());
+  return d;
+}
+
+// ---- Pfs ----
+
+Pfs::Pfs(node::Node& node) : node_(node) {
+  node_.add_interceptor([this](Packet& p, net::Interface& in) {
+    return on_forward(p, in);
+  });
+  node_.bind_udp(kPfsPort,
+                 [this](const net::UdpDatagram& d, const net::IpHeader& h,
+                        net::Interface&) { on_udp(d, h); });
+}
+
+void Pfs::add_home_host(IpAddress mobile_host) {
+  bindings_.emplace(mobile_host, net::kUnspecified);
+}
+
+void Pfs::set_temporary_address(IpAddress mobile_host, IpAddress temp_addr) {
+  auto it = bindings_.find(mobile_host);
+  if (it == bindings_.end()) return;
+  it->second = temp_addr;
+}
+
+std::optional<IpAddress> Pfs::temporary_address(IpAddress mobile_host) const {
+  auto it = bindings_.find(mobile_host);
+  if (it == bindings_.end() || it->second.is_unspecified()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+node::Intercept Pfs::on_forward(Packet& packet, net::Interface& in) {
+  (void)in;
+  auto it = bindings_.find(packet.header().dst);
+  if (it == bindings_.end() || it->second.is_unspecified()) {
+    return node::Intercept::kContinue;  // not ours / at home
+  }
+  ++stats_.tunnels_built;
+  node_.send_ip(iptp_encapsulate(packet, node_.primary_address(), it->second,
+                                 it->first, /*autonomous=*/false));
+  return node::Intercept::kConsumed;
+}
+
+void Pfs::on_udp(const net::UdpDatagram& datagram,
+                 const net::IpHeader& header) {
+  (void)header;
+  PfsControl m;
+  try {
+    m = PfsControl::decode(datagram.data);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  ++stats_.registrations;
+  set_temporary_address(m.mobile_host, m.temp_addr);
+}
+
+// ---- IptpMobileHost ----
+
+IptpMobileHost::IptpMobileHost(node::Host& host, IpAddress pfs)
+    : host_(host), pfs_(pfs) {
+  host_.set_protocol_handler(net::IpProto::kIptp,
+                             [this](Packet& p, net::Interface&) {
+                               on_iptp(p);
+                             });
+}
+
+void IptpMobileHost::move_to(IpAddress temp_addr) {
+  if (!temp_addr_.is_unspecified()) host_.remove_address_alias(temp_addr_);
+  temp_addr_ = temp_addr;
+  host_.add_address_alias(temp_addr);
+  PfsControl m{host_.primary_address(), temp_addr};
+  auto bytes = m.encode();
+  host_.send_udp(pfs_, kPfsPort, kPfsPort, bytes);
+}
+
+void IptpMobileHost::return_home() {
+  if (!temp_addr_.is_unspecified()) {
+    host_.remove_address_alias(temp_addr_);
+    temp_addr_ = net::kUnspecified;
+  }
+  PfsControl m{host_.primary_address(), net::kUnspecified};
+  auto bytes = m.encode();
+  host_.send_udp(pfs_, kPfsPort, kPfsPort, bytes);
+}
+
+void IptpMobileHost::on_iptp(Packet& packet) {
+  try {
+    IptpDecapsulated d = iptp_decapsulate(packet);
+    ++tunnels_received_;
+    host_.send_ip(std::move(d.inner));  // re-enters local delivery
+  } catch (const util::CodecError&) {
+  }
+}
+
+// ---- IptpAutonomousSender ----
+
+IptpAutonomousSender::IptpAutonomousSender(node::Host& host) : host_(host) {}
+
+void IptpAutonomousSender::send(IpAddress mobile_host, std::uint16_t dst_port,
+                                std::vector<std::uint8_t> data) {
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = host_.primary_address();
+  h.dst = mobile_host;
+  Packet inner(h, net::encode_udp({kPfsPort, dst_port}, data));
+  inner.set_base_payload_size(inner.payload().size());
+
+  auto it = cache_.find(mobile_host);
+  if (it == cache_.end()) {
+    host_.send_ip(std::move(inner));  // forwarding mode: PFS intercepts
+    return;
+  }
+  host_.send_ip(iptp_encapsulate(inner, host_.primary_address(), it->second,
+                                 mobile_host, /*autonomous=*/true));
+}
+
+}  // namespace mhrp::baselines

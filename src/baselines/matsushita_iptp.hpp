@@ -1,0 +1,130 @@
+// Baseline 4 (paper §7): Wada et al., Matsushita — "Packet forwarding
+// for mobile hosts" using the Internet Packet Transmission Protocol.
+//
+// A Packet Forwarding Server (PFS) on the mobile host's home network
+// intercepts its packets and tunnels them to the temporary IP address the
+// host acquired in the visited network. Tunneling adds a complete new IP
+// header *plus* a separate 20-byte IPTP header: 40 bytes per packet, the
+// largest of the protocols the paper compares. Two modes:
+//
+//  * forwarding mode — every packet triangles through the PFS; "route
+//    optimization ... is not possible" (bench_route_optimization);
+//  * autonomous mode — senders that know the temporary address tunnel
+//    directly (still 40 bytes of overhead).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "node/host.hpp"
+
+namespace mhrp::baselines {
+
+/// UDP port for PFS registrations.
+inline constexpr std::uint16_t kPfsPort = 5330;
+
+/// The 20-octet IPTP header that follows the new outer IP header.
+struct IptpHeader {
+  std::uint8_t version = 1;
+  std::uint8_t mode = 0;  // 0 forwarding, 1 autonomous
+  std::uint16_t checksum = 0;
+  std::uint32_t session = 0;
+  std::uint32_t sequence = 0;
+  net::IpAddress mobile_host;
+  std::uint32_t reserved = 0;
+
+  static constexpr std::size_t kSize = 20;
+};
+
+/// Wrap `inner` in outer IP + IPTP: adds exactly 40 octets.
+[[nodiscard]] net::Packet iptp_encapsulate(const net::Packet& inner,
+                                           net::IpAddress outer_src,
+                                           net::IpAddress outer_dst,
+                                           net::IpAddress mobile_host,
+                                           bool autonomous);
+
+struct IptpDecapsulated {
+  net::Packet inner;
+  IptpHeader header;
+};
+[[nodiscard]] IptpDecapsulated iptp_decapsulate(const net::Packet& outer);
+
+/// The Packet Forwarding Server on the home network.
+class Pfs {
+ public:
+  explicit Pfs(node::Node& node);
+
+  /// Declare a home mobile host (packets for it are intercepted while a
+  /// temporary address is registered).
+  void add_home_host(net::IpAddress mobile_host);
+
+  /// Registration from the mobile host: its current temporary address
+  /// (unspecified = back home, stop forwarding).
+  void set_temporary_address(net::IpAddress mobile_host,
+                             net::IpAddress temp_addr);
+
+  [[nodiscard]] std::optional<net::IpAddress> temporary_address(
+      net::IpAddress mobile_host) const;
+
+  struct Stats {
+    std::uint64_t tunnels_built = 0;
+    std::uint64_t registrations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  node::Intercept on_forward(net::Packet& packet, net::Interface& in);
+  void on_udp(const net::UdpDatagram& datagram, const net::IpHeader& header);
+
+  node::Node& node_;
+  std::map<net::IpAddress, net::IpAddress> bindings_;  // mh → temp (or 0)
+  Stats stats_;
+};
+
+/// Mobile-host side: acquires/registers temporary addresses and
+/// decapsulates IPTP tunnels terminating at them.
+class IptpMobileHost {
+ public:
+  IptpMobileHost(node::Host& host, net::IpAddress pfs);
+
+  /// Moved to a foreign network where `temp_addr` was acquired.
+  void move_to(net::IpAddress temp_addr);
+  /// Returned to the home network.
+  void return_home();
+
+  [[nodiscard]] std::uint64_t tunnels_received() const {
+    return tunnels_received_;
+  }
+
+ private:
+  void on_iptp(net::Packet& packet);
+
+  node::Host& host_;
+  net::IpAddress pfs_;
+  net::IpAddress temp_addr_;
+  std::uint64_t tunnels_received_ = 0;
+};
+
+/// Autonomous-mode sender: caches mobile→temporary bindings and tunnels
+/// its own packets directly (learned out of band in the Matsushita
+/// design; here the scenario installs bindings explicitly).
+class IptpAutonomousSender {
+ public:
+  explicit IptpAutonomousSender(node::Host& host);
+
+  void learn_binding(net::IpAddress mobile_host, net::IpAddress temp_addr) {
+    cache_[mobile_host] = temp_addr;
+  }
+
+  /// Send a UDP datagram, tunneling directly when a binding is cached
+  /// (autonomous mode) and plainly otherwise (forwarding mode — the PFS
+  /// will pick it up).
+  void send(net::IpAddress mobile_host, std::uint16_t dst_port,
+            std::vector<std::uint8_t> data);
+
+ private:
+  node::Host& host_;
+  std::map<net::IpAddress, net::IpAddress> cache_;
+};
+
+}  // namespace mhrp::baselines

@@ -1,0 +1,310 @@
+#include "baselines/sony_vip.hpp"
+
+#include "net/udp.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/checksum.hpp"
+
+namespace mhrp::baselines {
+
+using net::IpAddress;
+using net::Packet;
+
+namespace {
+
+enum class VipOp : std::uint8_t { kRegister = 1, kInvalidate = 2 };
+
+struct VipControl {
+  VipOp op = VipOp::kRegister;
+  IpAddress vip;
+  IpAddress physical;
+  std::uint32_t version = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    util::ByteWriter w(13);
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u32(vip.raw());
+    w.u32(physical.raw());
+    w.u32(version);
+    return w.take();
+  }
+  static VipControl decode(std::span<const std::uint8_t> wire) {
+    util::ByteReader r(wire);
+    VipControl m;
+    m.op = static_cast<VipOp>(r.u8());
+    m.vip = IpAddress(r.u32());
+    m.physical = IpAddress(r.u32());
+    m.version = r.u32();
+    return m;
+  }
+};
+
+std::uint64_t flood_key(IpAddress vip, std::uint32_t version) {
+  return (std::uint64_t(vip.raw()) << 32) | version;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> VipHeader::encode(
+    std::span<const std::uint8_t> transport) const {
+  util::ByteWriter w(kSize + transport.size());
+  w.u8(version);
+  w.u8(type);
+  w.u16(0);  // checksum placeholder
+  w.u32(vip_src.raw());
+  w.u32(vip_dst.raw());
+  w.u32(transit_count);
+  w.u32(timestamp);
+  w.u64(reserved);
+  w.patch_u16(2, util::internet_checksum(w.view().subspan(0, kSize)));
+  w.bytes(transport);
+  return w.take();
+}
+
+VipHeader VipHeader::decode(std::span<const std::uint8_t> payload,
+                            std::vector<std::uint8_t>* transport) {
+  if (payload.size() < kSize) throw util::CodecError("truncated VIP header");
+  if (!util::checksum_ok(payload.subspan(0, kSize))) {
+    throw util::CodecError("VIP checksum mismatch");
+  }
+  util::ByteReader r(payload);
+  VipHeader h;
+  h.version = r.u8();
+  h.type = r.u8();
+  r.skip(2);
+  h.vip_src = IpAddress(r.u32());
+  h.vip_dst = IpAddress(r.u32());
+  h.transit_count = r.u32();
+  h.timestamp = r.u32();
+  h.reserved = r.u64();
+  if (transport != nullptr) *transport = r.bytes(r.remaining());
+  return h;
+}
+
+// ---- VipRouter ----
+
+VipRouter::VipRouter(node::Node& node) : node_(node) {
+  node_.add_interceptor([this](Packet& p, net::Interface& in) {
+    return on_forward(p, in);
+  });
+  node_.bind_udp(kVipControlPort,
+                 [this](const net::UdpDatagram& d, const net::IpHeader& h,
+                        net::Interface&) { on_control(d, h); });
+}
+
+void VipRouter::add_home_host(IpAddress vip) {
+  home_[vip] = Binding{vip, 0};  // physical == vip while at home
+}
+
+void VipRouter::set_home_binding(IpAddress vip, IpAddress physical,
+                                 std::uint32_t version) {
+  home_[vip] = Binding{physical, version};
+}
+
+void VipRouter::flood_invalidate(IpAddress vip, std::uint32_t version) {
+  seen_floods_.insert(flood_key(vip, version));
+  cache_.erase(vip);
+  VipControl m;
+  m.op = VipOp::kInvalidate;
+  m.vip = vip;
+  m.version = version;
+  auto bytes = m.encode();
+  for (IpAddress neighbor : neighbors_) {
+    ++stats_.floods_sent;
+    node_.send_udp(neighbor, kVipControlPort, kVipControlPort, bytes);
+  }
+}
+
+node::Intercept VipRouter::on_forward(Packet& packet, net::Interface& in) {
+  (void)in;
+  if (packet.header().protocol != net::to_u8(net::IpProto::kVip)) {
+    return node::Intercept::kContinue;
+  }
+  VipHeader h;
+  try {
+    h = VipHeader::decode(packet.payload(), nullptr);
+  } catch (const util::CodecError&) {
+    return node::Intercept::kContinue;
+  }
+  // Learn the forward binding from traffic we carry.
+  if (h.vip_src != packet.header().src) {
+    auto& slot = cache_[h.vip_src];
+    if (h.timestamp >= slot.version) {
+      slot = Binding{packet.header().src, h.timestamp};
+      ++stats_.learned;
+    }
+  }
+  // Complete unresolved packets (physical == VIP) when we know better —
+  // authoritatively for our home hosts, opportunistically from cache.
+  if (packet.header().dst == h.vip_dst) {
+    const Binding* binding = nullptr;
+    auto at_home = home_.find(h.vip_dst);
+    if (at_home != home_.end()) {
+      binding = &at_home->second;
+    } else {
+      auto cached = cache_.find(h.vip_dst);
+      if (cached != cache_.end()) binding = &cached->second;
+    }
+    if (binding != nullptr && binding->physical != packet.header().dst) {
+      packet.header().dst = binding->physical;
+      ++stats_.completed;
+      node_.send_ip(std::move(packet));
+      return node::Intercept::kConsumed;
+    }
+  }
+  return node::Intercept::kContinue;
+}
+
+void VipRouter::on_control(const net::UdpDatagram& datagram,
+                           const net::IpHeader& header) {
+  (void)header;
+  VipControl m;
+  try {
+    m = VipControl::decode(datagram.data);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  switch (m.op) {
+    case VipOp::kRegister:
+      set_home_binding(m.vip, m.physical, m.version);
+      flood_invalidate(m.vip, m.version);
+      return;
+    case VipOp::kInvalidate: {
+      if (!seen_floods_.insert(flood_key(m.vip, m.version)).second) {
+        return;  // already propagated this flood
+      }
+      cache_.erase(m.vip);
+      ++stats_.invalidated;
+      auto bytes = m.encode();
+      for (IpAddress neighbor : neighbors_) {
+        ++stats_.floods_forwarded;
+        node_.send_udp(neighbor, kVipControlPort, kVipControlPort, bytes);
+      }
+      return;
+    }
+  }
+}
+
+// ---- VipHost ----
+
+VipHost::VipHost(node::Host& host, IpAddress home_router)
+    : host_(host), home_router_(home_router) {
+  host_.set_protocol_handler(net::IpProto::kVip,
+                             [this](Packet& p, net::Interface& i) {
+                               on_vip(p, i);
+                             });
+}
+
+void VipHost::send(IpAddress vip_dst, std::uint16_t dst_port,
+                   std::vector<std::uint8_t> data) {
+  LastSend s{vip_dst, dst_port, std::move(data)};
+  last_sent_[vip_dst] = s;
+  transmit(s);
+}
+
+void VipHost::transmit(const LastSend& send) {
+  ++stats_.sent;
+  VipHeader h;
+  h.vip_src = vip();
+  h.vip_dst = send.vip_dst;
+  h.timestamp = binding_version_;
+
+  auto transport =
+      net::encode_udp({kVipControlPort, send.dst_port}, send.data);
+
+  net::IpHeader ip;
+  ip.protocol = net::to_u8(net::IpProto::kVip);
+  ip.src = physical();
+  // Cache hit → physical destination; miss → send with physical == VIP,
+  // to be completed en route by the home network router.
+  auto cached = cache_.find(send.vip_dst);
+  ip.dst = cached == cache_.end() ? send.vip_dst : cached->second;
+
+  Packet p(ip, h.encode(transport));
+  p.set_base_payload_size(transport.size());
+  host_.send_ip(std::move(p));
+}
+
+void VipHost::on_vip(Packet& packet, net::Interface& iface) {
+  (void)iface;
+  VipHeader h;
+  std::vector<std::uint8_t> transport;
+  try {
+    h = VipHeader::decode(packet.payload(), &transport);
+  } catch (const util::CodecError&) {
+    return;
+  }
+
+  if (h.type == 1) {
+    // Error message: a stale binding misdelivered our packet. Purge and
+    // retransmit through the home network (Sony recovery).
+    ++stats_.errors_received;
+    cache_.erase(h.vip_dst);
+    auto last = last_sent_.find(h.vip_dst);
+    if (last != last_sent_.end()) {
+      ++stats_.retransmits;
+      transmit(last->second);
+    }
+    return;
+  }
+
+  if (h.vip_dst != vip()) {
+    // Misdelivery: someone's cache still maps h.vip_dst to an address we
+    // now hold. Discard and return an error to the sender (paper §7:
+    // "An incorrect receiver discards the packet and returns an error
+    // message to the sender").
+    ++stats_.misdelivered_discards;
+    VipHeader err;
+    err.type = 1;
+    err.vip_src = vip();
+    err.vip_dst = h.vip_dst;  // the binding that is stale
+    net::IpHeader ip;
+    ip.protocol = net::to_u8(net::IpProto::kVip);
+    ip.src = physical();
+    ip.dst = packet.header().src;
+    Packet reply(ip, err.encode({}));
+    host_.send_ip(std::move(reply));
+    return;
+  }
+
+  // Learn the reverse binding from received traffic.
+  if (h.vip_src != packet.header().src) {
+    cache_[h.vip_src] = packet.header().src;
+  }
+  ++stats_.received;
+  if (on_data) on_data(h.vip_src, transport);
+}
+
+void VipHost::move_to_physical(IpAddress temp_addr) {
+  if (!physical_.is_unspecified()) {
+    host_.remove_address_alias(physical_);
+  }
+  physical_ = temp_addr;
+  host_.add_address_alias(temp_addr);
+  ++binding_version_;
+  ++stats_.registrations;
+  VipControl m;
+  m.op = VipOp::kRegister;
+  m.vip = vip();
+  m.physical = temp_addr;
+  m.version = binding_version_;
+  auto bytes = m.encode();
+  host_.send_udp(home_router_, kVipControlPort, kVipControlPort, bytes);
+}
+
+void VipHost::return_home() {
+  if (!physical_.is_unspecified()) {
+    host_.remove_address_alias(physical_);
+    physical_ = net::kUnspecified;
+  }
+  ++binding_version_;
+  ++stats_.registrations;
+  VipControl m;
+  m.op = VipOp::kRegister;
+  m.vip = vip();
+  m.physical = vip();
+  m.version = binding_version_;
+  auto bytes = m.encode();
+  host_.send_udp(home_router_, kVipControlPort, kVipControlPort, bytes);
+}
+
+}  // namespace mhrp::baselines

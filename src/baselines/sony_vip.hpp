@@ -1,0 +1,167 @@
+// Baseline 3 (paper §7): Teraoka et al., Sony — the Virtual Internet
+// Protocol (SIGCOMM '91 / ICDCS '92).
+//
+// Every host has two addresses: a permanent "virtual" (VIP) address and a
+// physical IP address that changes when it moves (a temporary address
+// acquired in each visited network). *Every* packet carries a 28-byte VIP
+// header in addition to the IP header — including packets to and from
+// hosts sitting at home, which is the zero-overhead-at-home contrast
+// bench_home_overhead draws against MHRP.
+//
+// Senders map VIP→physical through a cache; a cache miss sends the packet
+// with physical = VIP, which routes to the home network, whose router
+// fills in the real physical address and resends. Intermediate routers
+// opportunistically cache (vip_src → physical_src) of packets they
+// forward. On movement a flooding protocol removes router cache entries —
+// "but some may remain": sender-host caches are not flooded at all, so a
+// stale sender keeps hitting the old physical address; the wrong receiver
+// discards the packet and returns an error that purges caches along the
+// path, and the sender retransmits (all reproduced in the tests and
+// bench_cache_convergence).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "node/host.hpp"
+
+namespace mhrp::baselines {
+
+/// UDP port for VIP registrations and invalidation flooding.
+inline constexpr std::uint16_t kVipControlPort = 5320;
+
+/// The 28-octet VIP header carried by every data packet.
+struct VipHeader {
+  std::uint8_t version = 1;
+  std::uint8_t type = 0;       // 0 data, 1 error
+  std::uint16_t checksum = 0;  // computed on encode
+  net::IpAddress vip_src;
+  net::IpAddress vip_dst;
+  std::uint32_t transit_count = 0;
+  std::uint32_t timestamp = 0;   // version stamp of the binding
+  std::uint64_t reserved = 0;
+
+  static constexpr std::size_t kSize = 28;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> transport) const;
+  /// Decodes the header and returns the transport bytes that follow.
+  static VipHeader decode(std::span<const std::uint8_t> payload,
+                          std::vector<std::uint8_t>* transport);
+};
+
+/// Router-side VIP agent: opportunistic cache of vip → physical learned
+/// from forwarded packets, authoritative bindings for home hosts,
+/// address completion for unresolved packets, and flood handling.
+class VipRouter {
+ public:
+  explicit VipRouter(node::Node& node);
+
+  /// Declare `vip` as homed on this router's network; the router is the
+  /// authority that completes unresolved packets for it.
+  void add_home_host(net::IpAddress vip);
+
+  /// Current binding for a home host (registration from the host).
+  void set_home_binding(net::IpAddress vip, net::IpAddress physical,
+                        std::uint32_t version);
+
+  /// Flood neighbors with an invalidation for `vip` (called when a home
+  /// host moves). Neighbors forward the flood once (sequence-deduped).
+  void flood_invalidate(net::IpAddress vip, std::uint32_t version);
+
+  void set_neighbors(std::vector<net::IpAddress> neighbors) {
+    neighbors_ = std::move(neighbors);
+  }
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] bool has_cached(net::IpAddress vip) const {
+    return cache_.count(vip) > 0;
+  }
+
+  struct Stats {
+    std::uint64_t learned = 0;
+    std::uint64_t completed = 0;  // unresolved packets given an address
+    std::uint64_t floods_sent = 0;
+    std::uint64_t floods_forwarded = 0;
+    std::uint64_t invalidated = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Binding {
+    net::IpAddress physical;
+    std::uint32_t version = 0;
+  };
+
+  node::Intercept on_forward(net::Packet& packet, net::Interface& in);
+  void on_control(const net::UdpDatagram& datagram,
+                  const net::IpHeader& header);
+
+  node::Node& node_;
+  std::vector<net::IpAddress> neighbors_;
+  std::map<net::IpAddress, Binding> home_;   // authoritative
+  std::map<net::IpAddress, Binding> cache_;  // opportunistic
+  std::set<std::uint64_t> seen_floods_;      // (vip, version) dedupe
+  Stats stats_;
+};
+
+/// Host-side VIP stack: adds the VIP header to everything sent, strips it
+/// on receipt, keeps the sender cache, discards misdelivered packets with
+/// an error that purges stale caches, and registers each new temporary
+/// address with the home router.
+class VipHost {
+ public:
+  VipHost(node::Host& host, net::IpAddress home_router);
+
+  /// Send a UDP datagram to a VIP destination.
+  void send(net::IpAddress vip_dst, std::uint16_t dst_port,
+            std::vector<std::uint8_t> data);
+
+  /// Moved: adopt `temp_addr` as the physical address (alias) and
+  /// register it home, triggering the invalidation flood there.
+  void move_to_physical(net::IpAddress temp_addr);
+
+  /// Back home: physical = VIP again.
+  void return_home();
+
+  [[nodiscard]] net::IpAddress vip() const { return host_.primary_address(); }
+  [[nodiscard]] net::IpAddress physical() const {
+    return physical_.is_unspecified() ? vip() : physical_;
+  }
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t misdelivered_discards = 0;
+    std::uint64_t errors_received = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t registrations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Delivered application data (vip_src, transport bytes) callback.
+  std::function<void(net::IpAddress, const std::vector<std::uint8_t>&)>
+      on_data;
+
+ private:
+  struct LastSend {
+    net::IpAddress vip_dst;
+    std::uint16_t dst_port = 0;
+    std::vector<std::uint8_t> data;
+  };
+
+  void on_vip(net::Packet& packet, net::Interface& iface);
+  void transmit(const LastSend& send);
+
+  node::Host& host_;
+  net::IpAddress home_router_;
+  net::IpAddress physical_;  // unspecified when at home
+  std::uint32_t binding_version_ = 0;
+  std::map<net::IpAddress, net::IpAddress> cache_;  // vip → physical
+  std::map<net::IpAddress, LastSend> last_sent_;
+  Stats stats_;
+};
+
+}  // namespace mhrp::baselines

@@ -1,0 +1,251 @@
+#include "baselines/sunshine_postel.hpp"
+
+#include "net/udp.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::baselines {
+
+using net::IpAddress;
+using net::Packet;
+
+namespace {
+
+enum class SpOp : std::uint8_t { kQuery = 1, kQueryReply = 2, kRegister = 3 };
+
+struct SpMessage {
+  SpOp op = SpOp::kQuery;
+  IpAddress mobile_host;
+  IpAddress forwarder;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    util::ByteWriter w(9);
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u32(mobile_host.raw());
+    w.u32(forwarder.raw());
+    return w.take();
+  }
+
+  static SpMessage decode(std::span<const std::uint8_t> wire) {
+    util::ByteReader r(wire);
+    SpMessage m;
+    m.op = static_cast<SpOp>(r.u8());
+    m.mobile_host = IpAddress(r.u32());
+    m.forwarder = IpAddress(r.u32());
+    return m;
+  }
+};
+
+}  // namespace
+
+// ---- SpDatabase ----
+
+SpDatabase::SpDatabase(node::Node& node) : node_(node) {
+  node_.bind_udp(kSpDatabasePort,
+                 [this](const net::UdpDatagram& d, const net::IpHeader& h,
+                        net::Interface&) { on_udp(d, h); });
+}
+
+void SpDatabase::on_udp(const net::UdpDatagram& datagram,
+                        const net::IpHeader& header) {
+  SpMessage m;
+  try {
+    m = SpMessage::decode(datagram.data);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  switch (m.op) {
+    case SpOp::kRegister:
+      ++stats_.registrations;
+      table_[m.mobile_host] = m.forwarder;
+      return;
+    case SpOp::kQuery: {
+      ++stats_.queries;
+      SpMessage reply;
+      reply.op = SpOp::kQueryReply;
+      reply.mobile_host = m.mobile_host;
+      auto it = table_.find(m.mobile_host);
+      reply.forwarder = it == table_.end() ? net::kUnspecified : it->second;
+      auto bytes = reply.encode();
+      node_.send_udp(header.src, kSpDatabasePort, datagram.header.src_port,
+                     bytes);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---- SpForwarder ----
+
+SpForwarder::SpForwarder(node::Node& node, net::Interface& local_iface)
+    : node_(node), local_iface_(local_iface) {
+  node_.add_local_interceptor([this](Packet& p, net::Interface& in) {
+    return on_local(p, in);
+  });
+}
+
+void SpForwarder::add_visitor(IpAddress mobile_host) {
+  visiting_[mobile_host] = true;
+}
+
+void SpForwarder::remove_visitor(IpAddress mobile_host) {
+  visiting_.erase(mobile_host);
+}
+
+node::Intercept SpForwarder::on_local(Packet& packet, net::Interface& in) {
+  (void)in;
+  // Only source-routed packets whose next hop we must supply are ours.
+  auto* option =
+      packet.header().find_option(net::IpOptionKind::kLooseSourceRoute);
+  if (option == nullptr) return node::Intercept::kContinue;
+  net::LsrrView view;
+  try {
+    view = net::parse_lsrr_option(*option);
+  } catch (const util::CodecError&) {
+    return node::Intercept::kContinue;
+  }
+  if (view.pointer_index >= view.route.size()) {
+    return node::Intercept::kContinue;  // route exhausted: really for us
+  }
+  const IpAddress next = view.route[view.pointer_index];
+  if (visiting_.count(next) == 0) {
+    // The host moved away: tell the sender, who will re-query the global
+    // database and retransmit (IEN 135 behavior).
+    ++stats_.unreachable_returned;
+    node_.send_icmp_error(
+        packet, net::IcmpUnreachable{net::UnreachCode::kHostUnreachable, {}});
+    return node::Intercept::kConsumed;
+  }
+  // RFC 791 LSRR hop processing: swap destination with the next route
+  // entry, recording our own address in the vacated slot.
+  view.route[view.pointer_index] = packet.header().dst;
+  ++view.pointer_index;
+  *option = net::make_lsrr_option(view.route, view.pointer_index);
+  packet.header().dst = next;
+  ++stats_.delivered;
+  node_.send_ip_on(local_iface_, std::move(packet), next);
+  return node::Intercept::kConsumed;
+}
+
+// ---- SpSender ----
+
+SpSender::SpSender(node::Host& host, IpAddress database)
+    : host_(host), database_(database) {
+  host_.bind_udp(kSpDatabasePort,
+                 [this](const net::UdpDatagram& d, const net::IpHeader& h,
+                        net::Interface&) { on_udp(d, h); });
+  host_.add_icmp_handler([this](const net::IcmpMessage& msg,
+                                const net::IpHeader&, net::Interface&) {
+    return on_icmp(msg);
+  });
+}
+
+void SpSender::send(IpAddress mobile_host, std::uint16_t dst_port,
+                    std::vector<std::uint8_t> data) {
+  PendingSend pending{mobile_host, dst_port, std::move(data)};
+  auto it = cache_.find(mobile_host);
+  if (it != cache_.end()) {
+    transmit_via(it->second, pending);
+    return;
+  }
+  awaiting_[mobile_host].push_back(std::move(pending));
+  query(mobile_host);
+}
+
+void SpSender::query(IpAddress mobile_host) {
+  ++stats_.queries_sent;
+  SpMessage q;
+  q.op = SpOp::kQuery;
+  q.mobile_host = mobile_host;
+  auto bytes = q.encode();
+  host_.send_udp(database_, kSpDatabasePort, kSpDatabasePort, bytes);
+}
+
+void SpSender::transmit_via(IpAddress forwarder, const PendingSend& send) {
+  ++stats_.data_sent;
+  last_sent_[send.mobile_host] = send;
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.dst = forwarder;
+  h.options.push_back(net::make_lsrr_option({send.mobile_host}, 0));
+  Packet p(h, net::encode_udp({kSpForwarderPort, send.dst_port}, send.data));
+  p.set_base_payload_size(p.payload().size());
+  host_.send_ip(std::move(p));
+}
+
+void SpSender::on_udp(const net::UdpDatagram& datagram,
+                      const net::IpHeader& header) {
+  if (header.src != database_) return;
+  SpMessage m;
+  try {
+    m = SpMessage::decode(datagram.data);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  if (m.op != SpOp::kQueryReply) return;
+  if (m.forwarder.is_unspecified()) {
+    awaiting_.erase(m.mobile_host);  // database does not know the host
+    return;
+  }
+  cache_[m.mobile_host] = m.forwarder;
+  auto it = awaiting_.find(m.mobile_host);
+  if (it == awaiting_.end()) return;
+  auto queue = std::move(it->second);
+  awaiting_.erase(it);
+  for (const PendingSend& pending : queue) {
+    transmit_via(m.forwarder, pending);
+  }
+}
+
+bool SpSender::on_icmp(const net::IcmpMessage& msg) {
+  const auto* unreachable = std::get_if<net::IcmpUnreachable>(&msg);
+  if (unreachable == nullptr) return false;
+  // Recover the mobile destination from the quoted packet's LSRR option.
+  net::IpHeader quoted_header;
+  try {
+    util::ByteReader r(unreachable->quoted);
+    std::size_t total = 0;
+    quoted_header = net::IpHeader::decode(r, &total);
+  } catch (const util::CodecError&) {
+    return false;
+  }
+  const auto* option =
+      quoted_header.find_option(net::IpOptionKind::kLooseSourceRoute);
+  if (option == nullptr) return false;
+  net::LsrrView view;
+  try {
+    view = net::parse_lsrr_option(*option);
+  } catch (const util::CodecError&) {
+    return false;
+  }
+  if (view.pointer_index >= view.route.size()) return false;
+  const IpAddress mobile_host = view.route[view.pointer_index];
+  if (cache_.erase(mobile_host) == 0) return false;
+  // IEN 135 recovery: consult the database again and retransmit the lost
+  // datagram (we keep a copy of the last one per destination, standing in
+  // for the transport layer's retransmission buffer).
+  auto last = last_sent_.find(mobile_host);
+  if (last != last_sent_.end()) {
+    ++stats_.retransmits;
+    awaiting_[mobile_host].push_back(last->second);
+  }
+  query(mobile_host);
+  return true;
+}
+
+// ---- SpMobileNode ----
+
+SpMobileNode::SpMobileNode(node::Host& host, IpAddress database)
+    : host_(host), database_(database) {}
+
+void SpMobileNode::register_forwarder(IpAddress forwarder) {
+  ++registrations_sent_;
+  SpMessage m;
+  m.op = SpOp::kRegister;
+  m.mobile_host = host_.primary_address();
+  m.forwarder = forwarder;
+  auto bytes = m.encode();
+  host_.send_udp(database_, kSpForwarderPort, kSpDatabasePort, bytes);
+}
+
+}  // namespace mhrp::baselines

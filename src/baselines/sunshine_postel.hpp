@@ -1,0 +1,143 @@
+// Baseline 1 (paper §7): Sunshine & Postel, "Addressing mobile hosts in
+// the ARPA Internet environment" (IEN 135, 1980).
+//
+// The protocol the paper summarizes: a *global database* records, for
+// every mobile host, its current "forwarder". Senders query the database,
+// then deliver packets to the forwarder via loose source routing; the
+// forwarder hands them to the locally visiting host. After a move, the
+// old forwarder answers arriving packets with "host unreachable"; the
+// sender must re-query the database and retransmit.
+//
+// The paper's criticism — reproduced by bench_scalability — is the
+// reliance on global state: every registration and every cold-start
+// lookup crosses the network to one service, so control traffic at the
+// database grows linearly with the number of mobile hosts and with
+// sender population, where MHRP keeps per-organization state only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "node/host.hpp"
+#include "sim/timer.hpp"
+
+namespace mhrp::baselines {
+
+/// UDP port of the global location database service.
+inline constexpr std::uint16_t kSpDatabasePort = 5300;
+/// UDP port forwarders and mobile nodes use for registration.
+inline constexpr std::uint16_t kSpForwarderPort = 5301;
+
+/// The global database: one well-known host the whole internetwork
+/// queries and registers with.
+class SpDatabase {
+ public:
+  explicit SpDatabase(node::Node& node);
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t registrations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] net::IpAddress address() const {
+    return node_.primary_address();
+  }
+
+ private:
+  void on_udp(const net::UdpDatagram& datagram, const net::IpHeader& header);
+
+  node::Node& node_;
+  std::map<net::IpAddress, net::IpAddress> table_;  // mobile → forwarder
+  Stats stats_;
+};
+
+/// A forwarder on some network: keeps the list of locally visiting
+/// mobile hosts and relays source-routed packets to them. Returns ICMP
+/// host unreachable for hosts that moved away.
+class SpForwarder {
+ public:
+  SpForwarder(node::Node& node, net::Interface& local_iface);
+
+  void add_visitor(net::IpAddress mobile_host);
+  void remove_visitor(net::IpAddress mobile_host);
+  [[nodiscard]] bool is_visiting(net::IpAddress mobile_host) const {
+    return visiting_.count(mobile_host) > 0;
+  }
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t unreachable_returned = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  node::Intercept on_local(net::Packet& packet, net::Interface& in);
+
+  node::Node& node_;
+  net::Interface& local_iface_;
+  std::map<net::IpAddress, bool> visiting_;
+  Stats stats_;
+};
+
+/// Sender-side library: resolves a mobile destination through the global
+/// database (with a local cache), source-routes data packets via the
+/// forwarder, and re-queries + retransmits when the old forwarder says
+/// "host unreachable".
+class SpSender {
+ public:
+  SpSender(node::Host& host, net::IpAddress database);
+
+  /// Send one UDP datagram to the mobile host, resolving as needed.
+  void send(net::IpAddress mobile_host, std::uint16_t dst_port,
+            std::vector<std::uint8_t> data);
+
+  struct Stats {
+    std::uint64_t queries_sent = 0;
+    std::uint64_t data_sent = 0;
+    std::uint64_t retransmits = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingSend {
+    net::IpAddress mobile_host;
+    std::uint16_t dst_port;
+    std::vector<std::uint8_t> data;
+  };
+
+  void on_udp(const net::UdpDatagram& datagram, const net::IpHeader& header);
+  bool on_icmp(const net::IcmpMessage& msg);
+  void transmit_via(net::IpAddress forwarder, const PendingSend& send);
+  void query(net::IpAddress mobile_host);
+
+  node::Host& host_;
+  net::IpAddress database_;
+  std::map<net::IpAddress, net::IpAddress> cache_;  // mobile → forwarder
+  std::map<net::IpAddress, std::vector<PendingSend>> awaiting_;
+  std::map<net::IpAddress, PendingSend> last_sent_;
+  Stats stats_;
+};
+
+/// Mobile-node-side: registers the current forwarder with the global
+/// database on every move.
+class SpMobileNode {
+ public:
+  SpMobileNode(node::Host& host, net::IpAddress database);
+
+  /// Called after attaching to the network served by `forwarder`.
+  void register_forwarder(net::IpAddress forwarder);
+
+  [[nodiscard]] std::uint64_t registrations_sent() const {
+    return registrations_sent_;
+  }
+
+ private:
+  node::Host& host_;
+  net::IpAddress database_;
+  std::uint64_t registrations_sent_ = 0;
+};
+
+}  // namespace mhrp::baselines

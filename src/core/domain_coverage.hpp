@@ -1,0 +1,59 @@
+// §3's alternative deployment: "It may also be possible to support an
+// entire routing domain with one (or more) home agents or foreign agents
+// by selectively using host-specific IP routes. When a mobile host
+// disconnects from its home network, its home agent could begin
+// advertising network reachability to that specific host. Such
+// host-specific routes would be advertised only while the mobile host was
+// disconnected from its home network, and would not be propagated outside
+// that routing domain."
+//
+// DomainCoverage glues a home agent to the domain's distance-vector
+// routing: whenever a provisioned mobile host's binding moves away from
+// home, a /32 for it is injected (drawing the domain's traffic for that
+// host to the agent, which intercepts and tunnels); when the host
+// returns, the route is withdrawn (poisoned), and plain subnet routing
+// resumes. The DV protocol already keeps host routes inside the domain.
+#pragma once
+
+#include "core/agent.hpp"
+#include "node/dv_routing.hpp"
+
+namespace mhrp::core {
+
+class DomainCoverage {
+ public:
+  /// `agent` must be a home agent on the same node that runs `dv`.
+  /// Overwrites the agent's on_binding_changed hook.
+  DomainCoverage(MhrpAgent& agent, node::DistanceVector& dv)
+      : agent_(agent), dv_(dv) {
+    agent_.on_binding_changed = [this](net::IpAddress mobile_host,
+                                       net::IpAddress foreign_agent) {
+      const bool away = !foreign_agent.is_unspecified();
+      dv_.advertise_host_route(mobile_host, away);
+      if (away) {
+        ++routes_advertised_;
+      } else {
+        ++routes_withdrawn_;
+      }
+    };
+  }
+
+  DomainCoverage(const DomainCoverage&) = delete;
+  DomainCoverage& operator=(const DomainCoverage&) = delete;
+  ~DomainCoverage() { agent_.on_binding_changed = nullptr; }
+
+  [[nodiscard]] std::uint64_t routes_advertised() const {
+    return routes_advertised_;
+  }
+  [[nodiscard]] std::uint64_t routes_withdrawn() const {
+    return routes_withdrawn_;
+  }
+
+ private:
+  MhrpAgent& agent_;
+  node::DistanceVector& dv_;
+  std::uint64_t routes_advertised_ = 0;
+  std::uint64_t routes_withdrawn_ = 0;
+};
+
+}  // namespace mhrp::core

@@ -1,0 +1,104 @@
+#include "core/encapsulation.hpp"
+
+#include <algorithm>
+
+namespace mhrp::core {
+
+bool is_mhrp(const net::Packet& packet) {
+  return packet.header().protocol == net::to_u8(net::IpProto::kMhrp);
+}
+
+MhrpHeader read_mhrp_header(const net::Packet& packet) {
+  if (!is_mhrp(packet)) {
+    throw util::CodecError("packet is not MHRP");
+  }
+  util::ByteReader r(packet.payload());
+  return MhrpHeader::decode(r);
+}
+
+void write_mhrp_header(net::Packet& packet, const MhrpHeader& header) {
+  // Locate the existing header to find where the transport bytes begin.
+  util::ByteReader r(packet.payload());
+  MhrpHeader existing = MhrpHeader::decode(r);
+  const std::size_t transport_at = existing.encoded_size();
+
+  util::ByteWriter w(header.encoded_size() + packet.payload().size() -
+                     transport_at);
+  header.encode(w);
+  w.bytes(std::span(packet.payload()).subspan(transport_at));
+  packet.payload() = w.take();
+}
+
+void encapsulate(net::Packet& packet, net::IpAddress foreign_agent,
+                 net::IpAddress builder) {
+  MhrpHeader h;
+  h.orig_protocol = packet.header().protocol;
+  h.mobile_host = packet.header().dst;
+  if (packet.header().src != builder) {
+    // Built by the first-hop router, another cache agent, or the home
+    // agent: the original sender's address moves into the list.
+    h.previous_sources.push_back(packet.header().src);
+    packet.header().src = builder;
+  }
+  packet.header().protocol = net::to_u8(net::IpProto::kMhrp);
+  packet.header().dst = foreign_agent;
+
+  util::ByteWriter w(h.encoded_size() + packet.payload().size());
+  h.encode(w);
+  w.bytes(packet.payload());
+  packet.payload() = w.take();
+}
+
+MhrpHeader decapsulate(net::Packet& packet) {
+  util::ByteReader r(packet.payload());
+  MhrpHeader h = MhrpHeader::decode(r);
+
+  packet.header().protocol = h.orig_protocol;
+  packet.header().dst = h.mobile_host;
+  if (!h.previous_sources.empty()) {
+    packet.header().src = h.previous_sources.front();
+  }
+  // Strip the MHRP header; the transport header and data are untouched.
+  packet.payload() = r.bytes(r.remaining());
+  return h;
+}
+
+RetunnelResult retunnel(net::Packet& packet, net::IpAddress self,
+                        net::IpAddress new_destination, std::size_t max_list) {
+  RetunnelResult result;
+  MhrpHeader h = read_mhrp_header(packet);
+
+  // §5.3: "If the IP address of this node is already present in the list
+  // ... a forwarding loop exists involving the nodes identified in the
+  // list; one pass around the loop has just been completed."
+  if (std::find(h.previous_sources.begin(), h.previous_sources.end(), self) !=
+      h.previous_sources.end()) {
+    result.loop_detected = true;
+    result.stale_members = h.previous_sources;
+    // The incoming tunnel head is part of the loop too.
+    if (std::find(result.stale_members.begin(), result.stale_members.end(),
+                  packet.header().src) == result.stale_members.end()) {
+      result.stale_members.push_back(packet.header().src);
+    }
+    return result;
+  }
+
+  const net::IpAddress incoming_source = packet.header().src;
+
+  // §4.4 overflow: when the list is full, every current member gets a
+  // location update (sent by the caller), the list resets to empty, and
+  // the new address becomes its single entry.
+  if (max_list != 0 && h.previous_sources.size() >= max_list) {
+    result.list_overflowed = true;
+    result.flushed = std::move(h.previous_sources);
+    h.previous_sources.clear();
+  }
+  h.previous_sources.push_back(incoming_source);
+
+  packet.header().src = self;
+  packet.header().dst = new_destination;
+  write_mhrp_header(packet, h);
+  return result;
+}
+
+}  // namespace mhrp::core

@@ -1,0 +1,81 @@
+// The MHRP encapsulation engine: the header-insertion tunneling of §4.1,
+// the re-tunneling of §4.4 (including previous-source-list overflow), the
+// original-header reconstruction done by foreign agents, and the loop
+// check of §5.3.
+//
+// Unlike IP-in-IP, MHRP does not wrap the packet in a complete new IP
+// header: it *modifies fields in the existing one*, displacing the
+// original protocol number and destination (and, when the header is not
+// built by the original sender, the original source) into the small MHRP
+// header inserted ahead of the transport header.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/mhrp_header.hpp"
+#include "net/packet.hpp"
+#include "net/protocols.hpp"
+
+namespace mhrp::core {
+
+/// True when `packet` carries the MHRP protocol number.
+[[nodiscard]] bool is_mhrp(const net::Packet& packet);
+
+/// Parse the MHRP header at the front of an MHRP packet's payload.
+/// Throws util::CodecError if the packet is not well-formed MHRP.
+[[nodiscard]] MhrpHeader read_mhrp_header(const net::Packet& packet);
+
+/// Replace the MHRP header at the front of the payload (the transport
+/// bytes that follow it are preserved).
+void write_mhrp_header(net::Packet& packet, const MhrpHeader& header);
+
+/// §4.1: transform a plain IP packet into an MHRP tunnel packet bound for
+/// `foreign_agent`, built by the node addressed `builder`.
+///  * orig protocol → MHRP header; IP protocol := MHRP
+///  * orig destination (the mobile host) → MHRP header; IP dst := FA
+///  * unless the builder is the original sender, orig source → the
+///    previous-source list; IP src := builder
+/// Resulting header is 8 octets (sender-built) or 12 (agent-built).
+void encapsulate(net::Packet& packet, net::IpAddress foreign_agent,
+                 net::IpAddress builder);
+
+/// Foreign-agent reconstruction before last-hop delivery (§4.1/§4.4):
+/// restores protocol and destination from the MHRP header, restores the
+/// original source (first list entry when present, else the current IP
+/// source, which then belongs to the sender-builder), and strips the
+/// MHRP header. Returns the header that was removed (its list tells the
+/// FA which cache agents to repair, §5.1).
+MhrpHeader decapsulate(net::Packet& packet);
+
+/// Outcome of a re-tunnel attempt.
+struct RetunnelResult {
+  /// §5.3: the re-tunneling node found its own address already in the
+  /// previous-source list — a forwarding loop. The packet was NOT
+  /// modified; `stale_members` lists every node in the loop so the
+  /// caller can dissolve it with invalidating location updates.
+  bool loop_detected = false;
+
+  /// §4.4 list overflow: the previous-source list was at `max_list` and
+  /// had to be truncated. `flushed` holds the addresses that were
+  /// dropped; the caller must send each a location update naming its own
+  /// tunnel target.
+  bool list_overflowed = false;
+
+  std::vector<net::IpAddress> flushed;
+  std::vector<net::IpAddress> stale_members;
+};
+
+/// §4.4: re-tunnel an MHRP packet at a node addressed `self` toward
+/// `new_destination` (the next foreign agent, or the mobile host's home
+/// address when no location is cached):
+///  * append the current IP source to the previous-source list (+4 B),
+///    honoring `max_list` with the overflow procedure;
+///  * IP src := self (the current IP destination);
+///  * IP dst := new_destination.
+/// Performs the §5.3 loop check first; on detection the packet is left
+/// untouched and the result says so. `max_list` of 0 means unbounded.
+RetunnelResult retunnel(net::Packet& packet, net::IpAddress self,
+                        net::IpAddress new_destination, std::size_t max_list);
+
+}  // namespace mhrp::core

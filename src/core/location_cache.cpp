@@ -1,0 +1,59 @@
+#include "core/location_cache.hpp"
+
+namespace mhrp::core {
+
+void LocationCache::update(net::IpAddress mobile_host,
+                           net::IpAddress foreign_agent) {
+  if (foreign_agent.is_unspecified()) {
+    invalidate(mobile_host);
+    return;
+  }
+  ++stats_.updates;
+  auto it = map_.find(mobile_host);
+  if (it != map_.end()) {
+    it->second->foreign_agent = foreign_agent;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (capacity_ != 0 && map_.size() >= capacity_) {
+    ++stats_.evictions;
+    map_.erase(lru_.back().mobile_host);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{mobile_host, foreign_agent});
+  map_[mobile_host] = lru_.begin();
+}
+
+void LocationCache::invalidate(net::IpAddress mobile_host) {
+  auto it = map_.find(mobile_host);
+  if (it == map_.end()) return;
+  ++stats_.invalidations;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+std::optional<net::IpAddress> LocationCache::lookup(
+    net::IpAddress mobile_host) {
+  auto it = map_.find(mobile_host);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->foreign_agent;
+}
+
+std::optional<net::IpAddress> LocationCache::peek(
+    net::IpAddress mobile_host) const {
+  auto it = map_.find(mobile_host);
+  if (it == map_.end()) return std::nullopt;
+  return it->second->foreign_agent;
+}
+
+void LocationCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace mhrp::core

@@ -1,0 +1,68 @@
+// The cache a cache agent keeps: mobile host → current foreign agent.
+//
+// Paper §2: "the contents of the (finite) cache space provided by any
+// cache agent may be maintained by any local cache replacement policy" —
+// this implementation is a bounded LRU, the policy §4.3 sketches for the
+// shared redirect table. Consistency is *not* this class's job: MHRP
+// repairs stale entries lazily via location updates.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ip_address.hpp"
+
+namespace mhrp::core {
+
+class LocationCache {
+ public:
+  explicit LocationCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Insert or refresh the binding mobile_host → foreign_agent. A
+  /// foreign agent of 0 means "the host is at home": the entry is
+  /// removed (paper §6.3). Evicts the least recently used entry when
+  /// full.
+  void update(net::IpAddress mobile_host, net::IpAddress foreign_agent);
+
+  /// Remove the entry, if any (loop dissolution §5.3, ICMP error
+  /// handling §4.5).
+  void invalidate(net::IpAddress mobile_host);
+
+  /// Look up and touch (LRU-promote) the entry.
+  [[nodiscard]] std::optional<net::IpAddress> lookup(
+      net::IpAddress mobile_host);
+
+  /// Look up without touching (diagnostics/tests).
+  [[nodiscard]] std::optional<net::IpAddress> peek(
+      net::IpAddress mobile_host) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    net::IpAddress mobile_host;
+    net::IpAddress foreign_agent;
+  };
+
+  // Most recently used at front.
+  std::list<Entry> lru_;
+  std::unordered_map<net::IpAddress, std::list<Entry>::iterator> map_;
+  std::size_t capacity_;
+  Stats stats_;
+};
+
+}  // namespace mhrp::core

@@ -1,0 +1,46 @@
+#include "core/mhrp_header.hpp"
+
+#include "util/checksum.hpp"
+
+namespace mhrp::core {
+
+void MhrpHeader::encode(util::ByteWriter& w) const {
+  if (previous_sources.size() > 255) {
+    throw util::CodecError("MHRP previous-source list exceeds 255 entries");
+  }
+  const std::size_t start = w.size();
+  w.u8(orig_protocol);
+  w.u8(static_cast<std::uint8_t>(previous_sources.size()));
+  w.u16(0);  // checksum placeholder
+  w.u32(mobile_host.raw());
+  for (net::IpAddress a : previous_sources) w.u32(a.raw());
+  w.patch_u16(start + 2, util::internet_checksum(
+                             w.view().subspan(start, encoded_size())));
+}
+
+MhrpHeader MhrpHeader::decode(util::ByteReader& r) {
+  if (r.remaining() < kBaseSize) {
+    throw util::CodecError("truncated MHRP header");
+  }
+  // Verify checksum over the full header before consuming fields.
+  const auto whole = r.rest();
+  const std::size_t count_peek = whole[1];
+  const std::size_t size = kBaseSize + 4 * count_peek;
+  if (whole.size() < size) throw util::CodecError("truncated MHRP list");
+  if (!util::checksum_ok(whole.subspan(0, size))) {
+    throw util::CodecError("MHRP header checksum mismatch");
+  }
+
+  MhrpHeader h;
+  h.orig_protocol = r.u8();
+  const std::size_t count = r.u8();
+  r.skip(2);  // checksum, verified above
+  h.mobile_host = net::IpAddress(r.u32());
+  h.previous_sources.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    h.previous_sources.emplace_back(r.u32());
+  }
+  return h;
+}
+
+}  // namespace mhrp::core

@@ -1,0 +1,49 @@
+// The MHRP header (paper Figure 3), inserted between the IP header and
+// the transport header when a packet is tunneled to a mobile host's
+// foreign agent.
+//
+// Layout (octets):
+//   0       Orig Protocol — the IP protocol number displaced from the IP
+//           header when it was overwritten with the MHRP number
+//   1       Count — number of entries in the previous-source list
+//   2-3     MHRP Header Checksum
+//   4-7     IP Address of Mobile Host — the displaced IP destination
+//   8-...   List of Previous IP Source Addresses, 4 octets each
+//
+// Size is therefore 8 octets when built by the original sender (empty
+// list), 12 when built by a home agent or another cache agent (one
+// entry), growing by 4 per re-tunnel — the exact numbers §4.1/§7 quote.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::core {
+
+struct MhrpHeader {
+  std::uint8_t orig_protocol = 0;
+  net::IpAddress mobile_host;
+  /// "List of previous IP source addresses for this packet": index 0 is
+  /// the original sender (when non-empty); later entries are the heads of
+  /// successive tunnels — i.e. out-of-date cache agents (paper §5.1).
+  std::vector<net::IpAddress> previous_sources;
+
+  static constexpr std::size_t kBaseSize = 8;
+
+  [[nodiscard]] std::size_t encoded_size() const {
+    return kBaseSize + 4 * previous_sources.size();
+  }
+
+  /// Append the header, with a valid checksum, to `w`.
+  void encode(util::ByteWriter& w) const;
+
+  /// Decode from the front of `r`, validating count and checksum.
+  static MhrpHeader decode(util::ByteReader& r);
+
+  bool operator==(const MhrpHeader&) const = default;
+};
+
+}  // namespace mhrp::core

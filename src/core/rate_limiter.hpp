@@ -1,0 +1,65 @@
+// Per-destination rate limiting for location update messages.
+//
+// Paper §4.3: "any host or router that sends location update messages
+// must provide some mechanism for limiting the rate at which it sends
+// these messages to any single IP address. For example, a list could be
+// maintained giving the IP addresses to which updates have been sent and
+// the time at which an update was last sent to each address. This stored
+// time on each list entry could also be used to implement LRU replacement
+// of the entries within the list." This class is exactly that list.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "net/ip_address.hpp"
+#include "sim/time.hpp"
+
+namespace mhrp::core {
+
+class UpdateRateLimiter {
+ public:
+  UpdateRateLimiter(sim::Time min_interval, std::size_t capacity = 256)
+      : min_interval_(min_interval), capacity_(capacity) {}
+
+  /// Returns true — and records the send — when an update may be sent to
+  /// `dst` at time `now`; false when one was sent too recently.
+  bool allow(net::IpAddress dst, sim::Time now) {
+    auto it = map_.find(dst);
+    if (it != map_.end()) {
+      if (now - it->second->last_sent < min_interval_) {
+        ++suppressed_;
+        return false;
+      }
+      it->second->last_sent = now;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return true;
+    }
+    if (capacity_ != 0 && map_.size() >= capacity_) {
+      // LRU replacement keyed by last-send time, as the paper suggests.
+      map_.erase(lru_.back().dst);
+      lru_.pop_back();
+    }
+    lru_.push_front(Slot{dst, now});
+    map_[dst] = lru_.begin();
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Slot {
+    net::IpAddress dst;
+    sim::Time last_sent;
+  };
+
+  sim::Time min_interval_;
+  std::size_t capacity_;
+  std::list<Slot> lru_;
+  std::unordered_map<net::IpAddress, std::list<Slot>::iterator> map_;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace mhrp::core

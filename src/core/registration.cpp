@@ -1,0 +1,26 @@
+#include "core/registration.hpp"
+
+namespace mhrp::core {
+
+std::vector<std::uint8_t> RegMessage::encode() const {
+  util::ByteWriter w(kWireSize);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(mobile_host.raw());
+  w.u32(foreign_agent.raw());
+  w.u32(sequence);
+  return w.take();
+}
+
+RegMessage RegMessage::decode(std::span<const std::uint8_t> wire) {
+  util::ByteReader r(wire);
+  RegMessage m;
+  std::uint8_t kind = r.u8();
+  if (kind < 1 || kind > 7) throw util::CodecError("bad registration kind");
+  m.kind = static_cast<RegKind>(kind);
+  m.mobile_host = net::IpAddress(r.u32());
+  m.foreign_agent = net::IpAddress(r.u32());
+  m.sequence = r.u32();
+  return m;
+}
+
+}  // namespace mhrp::core

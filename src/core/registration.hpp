@@ -1,0 +1,53 @@
+// Registration / notification messages exchanged when a mobile host
+// moves (paper §3). The paper specifies the notification *ordering* and
+// semantics but not a wire format; this one is minimal and rides UDP on
+// a dedicated control port, with acknowledgment and retransmission so a
+// lost notification does not strand a mobile host (robustness in the
+// spirit of §5).
+//
+// Ordering implemented by MobileHost, per §3:
+//   reconnect:  new FA  →  home agent (and old FA, if not yet notified)
+//   planned disconnect:  home agent  →  old FA
+//   returning home: home agent only, with "foreign agent address zero"
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::core {
+
+/// UDP port agents and mobile hosts use for registration traffic.
+inline constexpr std::uint16_t kRegistrationPort = 434;
+
+enum class RegKind : std::uint8_t {
+  kConnect = 1,        // MH → new FA: add me to your visiting list
+  kConnectAck = 2,     // FA → MH
+  kHomeRegister = 3,   // MH → HA: my FA is now X (0 = I am home)
+  kHomeRegisterAck = 4,  // HA → MH
+  kDisconnect = 5,     // MH → old FA: I left; my new FA is X (0 = home)
+  kDisconnectAck = 6,  // old FA → MH
+  kReconnectQuery = 7,  // rebooted FA → broadcast: visiting hosts, re-register
+};
+
+struct RegMessage {
+  RegKind kind = RegKind::kConnect;
+  net::IpAddress mobile_host;
+  /// kConnect: unused. kHomeRegister/kDisconnect: the new foreign agent
+  /// (0 = at home). Acks echo the request's value.
+  net::IpAddress foreign_agent;
+  /// Monotonic per-mobile-host sequence; lets agents and the home agent
+  /// ignore stale, reordered registrations.
+  std::uint32_t sequence = 0;
+
+  static constexpr std::size_t kWireSize = 13;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static RegMessage decode(std::span<const std::uint8_t> wire);
+
+  bool operator==(const RegMessage&) const = default;
+};
+
+}  // namespace mhrp::core

@@ -1,0 +1,138 @@
+#include "core/replication.hpp"
+
+#include "net/udp.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::core {
+
+using net::IpAddress;
+
+namespace {
+
+enum class ReplOp : std::uint8_t { kBinding = 1, kHeartbeat = 2 };
+
+struct ReplMessage {
+  ReplOp op = ReplOp::kHeartbeat;
+  IpAddress mobile_host;
+  IpAddress foreign_agent;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    util::ByteWriter w(9);
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u32(mobile_host.raw());
+    w.u32(foreign_agent.raw());
+    return w.take();
+  }
+  static ReplMessage decode(std::span<const std::uint8_t> wire) {
+    util::ByteReader r(wire);
+    ReplMessage m;
+    m.op = static_cast<ReplOp>(r.u8());
+    m.mobile_host = IpAddress(r.u32());
+    m.foreign_agent = IpAddress(r.u32());
+    return m;
+  }
+};
+
+}  // namespace
+
+HaReplicator::HaReplicator(MhrpAgent& agent, std::vector<IpAddress> peers,
+                           bool is_primary, Config config)
+    : agent_(agent),
+      peers_(std::move(peers)),
+      active_(is_primary),
+      config_(config),
+      heartbeat_timer_(agent.node().sim(), config.heartbeat_period,
+                       [this] { heartbeat(); }),
+      peer_lifetime_(agent.node().sim(), [this] { peer_timeout(); }) {
+  agent_.set_passive(!active_);
+  agent_.on_binding_changed = [this](IpAddress mobile_host,
+                                     IpAddress foreign_agent) {
+    if (!applying_remote_) broadcast_binding(mobile_host, foreign_agent);
+  };
+  agent_.node().bind_udp(kReplicationPort,
+                         [this](const net::UdpDatagram& d,
+                                const net::IpHeader& h, net::Interface&) {
+                           on_udp(d, h);
+                         });
+}
+
+HaReplicator::~HaReplicator() {
+  agent_.on_binding_changed = nullptr;
+  agent_.node().unbind_udp(kReplicationPort);
+}
+
+void HaReplicator::start() {
+  heartbeat();
+  heartbeat_timer_.start();
+  peer_lifetime_.arm(config_.heartbeat_period * config_.missed_heartbeats);
+}
+
+void HaReplicator::broadcast_binding(IpAddress mobile_host,
+                                     IpAddress foreign_agent) {
+  ReplMessage m;
+  m.op = ReplOp::kBinding;
+  m.mobile_host = mobile_host;
+  m.foreign_agent = foreign_agent;
+  auto bytes = m.encode();
+  for (IpAddress peer : peers_) {
+    agent_.node().send_udp(peer, kReplicationPort, kReplicationPort, bytes);
+  }
+  ++bindings_replicated_;
+}
+
+void HaReplicator::heartbeat() {
+  ReplMessage m;
+  m.op = ReplOp::kHeartbeat;
+  auto bytes = m.encode();
+  for (IpAddress peer : peers_) {
+    agent_.node().send_udp(peer, kReplicationPort, kReplicationPort, bytes);
+  }
+}
+
+void HaReplicator::on_udp(const net::UdpDatagram& datagram,
+                          const net::IpHeader& header) {
+  (void)header;
+  ReplMessage m;
+  try {
+    m = ReplMessage::decode(datagram.data);
+  } catch (const util::CodecError&) {
+    return;
+  }
+  switch (m.op) {
+    case ReplOp::kBinding: {
+      applying_remote_ = true;
+      agent_.apply_replicated_binding(m.mobile_host, m.foreign_agent);
+      applying_remote_ = false;
+      [[fallthrough]];  // a binding push also proves the peer is alive
+    }
+    case ReplOp::kHeartbeat:
+      peer_lifetime_.arm(config_.heartbeat_period * config_.missed_heartbeats);
+      return;
+  }
+}
+
+void HaReplicator::peer_timeout() {
+  if (active_) return;  // the active replica has nothing to take over
+  take_over();
+}
+
+void HaReplicator::take_over() {
+  ++takeovers_;
+  active_ = true;
+  // Resume interception: proxy ARP for every away host, gratuitous ARP
+  // to rewrite neighbor caches (done inside set_passive(false)).
+  agent_.set_passive(false);
+  // Also adopt the dead peers' agent addresses so in-flight registrations
+  // and tunnels addressed to the old primary reach us.
+  const auto& served = agent_.served_interfaces();
+  for (IpAddress peer : peers_) {
+    agent_.node().add_address_alias(peer);
+    for (net::Interface* iface : served) {
+      if (iface->prefix().contains(peer)) {
+        agent_.node().send_gratuitous_arp(*iface, peer, iface->mac());
+      }
+    }
+  }
+}
+
+}  // namespace mhrp::core

@@ -1,0 +1,56 @@
+// ARP (RFC 826) model: message format, per-interface resolution table.
+//
+// ARP is load-bearing in MHRP (paper §2): the home agent intercepts
+// packets for absent mobile hosts by answering ARP queries with its own
+// hardware address (proxy ARP, RFC 925) and by broadcasting unsolicited
+// "gratuitous" ARP replies to rewrite neighbors' caches at disconnection;
+// the returning mobile host broadcasts its own gratuitous reply to take
+// its address back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+
+namespace mhrp::net {
+
+struct ArpMessage {
+  enum class Op : std::uint8_t { kRequest = 1, kReply = 2 };
+
+  Op op = Op::kRequest;
+  MacAddress sender_mac;
+  IpAddress sender_ip;
+  MacAddress target_mac;  // unspecified in requests
+  IpAddress target_ip;
+
+  /// Ethernet/IPv4 ARP packet size on the wire.
+  static constexpr std::size_t kWireSize = 28;
+
+  bool operator==(const ArpMessage&) const = default;
+};
+
+/// Per-interface IP → MAC cache. Learns from any ARP message that crosses
+/// the segment (standard opportunistic learning), which is precisely the
+/// channel gratuitous ARP exploits.
+class ArpTable {
+ public:
+  void learn(IpAddress ip, MacAddress mac) { entries_[ip] = mac; }
+  void forget(IpAddress ip) { entries_.erase(ip); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::optional<MacAddress> lookup(IpAddress ip) const {
+    auto it = entries_.find(ip);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<IpAddress, MacAddress> entries_;
+};
+
+}  // namespace mhrp::net

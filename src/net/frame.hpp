@@ -1,0 +1,41 @@
+// Link-layer frame: what actually crosses a Link. Carries either an IP
+// datagram or an ARP message. Framing overhead is a constant (Ethernet II
+// header) applied uniformly when computing transmission delay.
+#pragma once
+
+#include <variant>
+
+#include "net/arp.hpp"
+#include "net/mac_address.hpp"
+#include "net/packet.hpp"
+
+namespace mhrp::net {
+
+struct Frame {
+  MacAddress src;
+  MacAddress dst;
+  std::variant<Packet, ArpMessage> body;
+
+  static constexpr std::size_t kHeaderSize = 14;
+
+  [[nodiscard]] bool is_ip() const {
+    return std::holds_alternative<Packet>(body);
+  }
+  [[nodiscard]] bool is_arp() const {
+    return std::holds_alternative<ArpMessage>(body);
+  }
+
+  [[nodiscard]] const Packet& packet() const { return std::get<Packet>(body); }
+  [[nodiscard]] Packet& packet() { return std::get<Packet>(body); }
+  [[nodiscard]] const ArpMessage& arp() const {
+    return std::get<ArpMessage>(body);
+  }
+
+  /// Frame size on the wire, used for serialization delay.
+  [[nodiscard]] std::size_t wire_size() const {
+    return kHeaderSize +
+           (is_ip() ? packet().wire_size() : ArpMessage::kWireSize);
+  }
+};
+
+}  // namespace mhrp::net

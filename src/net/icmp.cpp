@@ -1,0 +1,188 @@
+#include "net/icmp.hpp"
+
+#include "util/checksum.hpp"
+
+namespace mhrp::net {
+
+namespace {
+
+// Flag bits in the location update "code"-adjacent body word.
+constexpr std::uint32_t kLocUpdateInvalidate = 0x1;
+
+// Agent advertisement flag bits.
+constexpr std::uint32_t kAdvHomeAgent = 0x1;
+constexpr std::uint32_t kAdvForeignAgent = 0x2;
+
+struct Encoder {
+  util::ByteWriter w;
+
+  void begin(IcmpType type, std::uint8_t code) {
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u8(code);
+    w.u16(0);  // checksum patched at the end
+  }
+
+  std::vector<std::uint8_t> finish() {
+    w.patch_u16(2, util::internet_checksum(w.view()));
+    return w.take();
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_icmp(const IcmpMessage& msg) {
+  Encoder e;
+  std::visit(
+      [&e](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, IcmpEcho>) {
+          e.begin(m.is_request ? IcmpType::kEchoRequest : IcmpType::kEchoReply,
+                  0);
+          e.w.u16(m.ident);
+          e.w.u16(m.sequence);
+          e.w.bytes(m.data);
+        } else if constexpr (std::is_same_v<T, IcmpUnreachable>) {
+          e.begin(IcmpType::kDestUnreachable,
+                  static_cast<std::uint8_t>(m.code));
+          e.w.u32(0);  // unused
+          e.w.bytes(m.quoted);
+        } else if constexpr (std::is_same_v<T, IcmpTimeExceeded>) {
+          e.begin(IcmpType::kTimeExceeded, 0);
+          e.w.u32(0);
+          e.w.bytes(m.quoted);
+        } else if constexpr (std::is_same_v<T, IcmpRedirect>) {
+          e.begin(IcmpType::kRedirect, 1 /* redirect for host */);
+          e.w.u32(m.gateway.raw());
+          e.w.bytes(m.quoted);
+        } else if constexpr (std::is_same_v<T, IcmpAgentAdvertisement>) {
+          e.begin(IcmpType::kAgentAdvertisement, 0);
+          e.w.u8(1);   // number of addresses
+          e.w.u8(3);   // address entry size in 32-bit words (addr + flags + seq)
+          e.w.u16(m.lifetime_s);
+          e.w.u32(m.agent.raw());
+          std::uint32_t flags = 0;
+          if (m.offers_home_agent) flags |= kAdvHomeAgent;
+          if (m.offers_foreign_agent) flags |= kAdvForeignAgent;
+          e.w.u32(flags);
+          e.w.u16(m.sequence);
+          e.w.u16(0);  // reserved
+        } else if constexpr (std::is_same_v<T, IcmpAgentSolicitation>) {
+          e.begin(IcmpType::kAgentSolicitation, 0);
+          e.w.u32(0);  // reserved
+        } else if constexpr (std::is_same_v<T, IcmpLocationUpdate>) {
+          e.begin(IcmpType::kLocationUpdate, 0);
+          e.w.u32(m.invalidate ? kLocUpdateInvalidate : 0);
+          e.w.u32(m.mobile_host.raw());
+          e.w.u32(m.foreign_agent.raw());
+        } else if constexpr (std::is_same_v<T, IcmpUnknown>) {
+          e.begin(static_cast<IcmpType>(m.type), m.code);
+          e.w.bytes(m.body);
+        }
+      },
+      msg);
+  return e.finish();
+}
+
+IcmpMessage decode_icmp(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 4) throw util::CodecError("ICMP shorter than 4B");
+  if (!util::checksum_ok(wire)) {
+    throw util::CodecError("ICMP checksum mismatch");
+  }
+  util::ByteReader r(wire);
+  auto type = static_cast<IcmpType>(r.u8());
+  std::uint8_t code = r.u8();
+  r.skip(2);  // checksum already verified
+
+  switch (type) {
+    case IcmpType::kEchoRequest:
+    case IcmpType::kEchoReply: {
+      IcmpEcho m;
+      m.is_request = type == IcmpType::kEchoRequest;
+      m.ident = r.u16();
+      m.sequence = r.u16();
+      m.data = r.bytes(r.remaining());
+      return m;
+    }
+    case IcmpType::kDestUnreachable: {
+      IcmpUnreachable m;
+      m.code = static_cast<UnreachCode>(code);
+      r.skip(4);
+      m.quoted = r.bytes(r.remaining());
+      return m;
+    }
+    case IcmpType::kTimeExceeded: {
+      IcmpTimeExceeded m;
+      r.skip(4);
+      m.quoted = r.bytes(r.remaining());
+      return m;
+    }
+    case IcmpType::kRedirect: {
+      IcmpRedirect m;
+      m.gateway = IpAddress(r.u32());
+      m.quoted = r.bytes(r.remaining());
+      return m;
+    }
+    case IcmpType::kAgentAdvertisement: {
+      IcmpAgentAdvertisement m;
+      std::uint8_t num = r.u8();
+      std::uint8_t entry_size = r.u8();
+      if (num != 1 || entry_size != 3) {
+        throw util::CodecError("unsupported agent advertisement shape");
+      }
+      m.lifetime_s = r.u16();
+      m.agent = IpAddress(r.u32());
+      std::uint32_t flags = r.u32();
+      m.offers_home_agent = (flags & kAdvHomeAgent) != 0;
+      m.offers_foreign_agent = (flags & kAdvForeignAgent) != 0;
+      m.sequence = r.u16();
+      r.skip(2);
+      return m;
+    }
+    case IcmpType::kAgentSolicitation: {
+      r.skip(4);
+      return IcmpAgentSolicitation{};
+    }
+    case IcmpType::kLocationUpdate: {
+      IcmpLocationUpdate m;
+      std::uint32_t flags = r.u32();
+      m.invalidate = (flags & kLocUpdateInvalidate) != 0;
+      m.mobile_host = IpAddress(r.u32());
+      m.foreign_agent = IpAddress(r.u32());
+      return m;
+    }
+    default: {
+      IcmpUnknown m;
+      m.type = static_cast<std::uint8_t>(type);
+      m.code = code;
+      m.body = r.bytes(r.remaining());
+      return m;
+    }
+  }
+}
+
+IcmpType icmp_type_of(const IcmpMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> IcmpType {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, IcmpEcho>) {
+          return m.is_request ? IcmpType::kEchoRequest : IcmpType::kEchoReply;
+        } else if constexpr (std::is_same_v<T, IcmpUnreachable>) {
+          return IcmpType::kDestUnreachable;
+        } else if constexpr (std::is_same_v<T, IcmpTimeExceeded>) {
+          return IcmpType::kTimeExceeded;
+        } else if constexpr (std::is_same_v<T, IcmpRedirect>) {
+          return IcmpType::kRedirect;
+        } else if constexpr (std::is_same_v<T, IcmpAgentAdvertisement>) {
+          return IcmpType::kAgentAdvertisement;
+        } else if constexpr (std::is_same_v<T, IcmpAgentSolicitation>) {
+          return IcmpType::kAgentSolicitation;
+        } else if constexpr (std::is_same_v<T, IcmpLocationUpdate>) {
+          return IcmpType::kLocationUpdate;
+        } else {
+          return static_cast<IcmpType>(m.type);
+        }
+      },
+      msg);
+}
+
+}  // namespace mhrp::net

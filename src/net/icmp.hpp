@@ -1,0 +1,128 @@
+// ICMP message model and byte-exact codec.
+//
+// MHRP defines its "location update" as a *new ICMP type* (paper §4.3),
+// chosen for its kinship with ICMP redirect and for backward
+// compatibility: hosts that do not implement MHRP silently discard ICMP
+// messages of unknown type (RFC 1122), which this codec models by
+// decoding unrecognized types into IcmpUnknown rather than failing.
+//
+// Agent discovery (paper §3) is modeled after ICMP router discovery
+// (RFC 1256): periodic multicast advertisements plus solicitations, with
+// an MHRP extension carrying home-agent / foreign-agent capability flags.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::net {
+
+/// ICMP type numbers. Real values where assigned; kLocationUpdate is the
+/// paper's new type, given a then-unassigned number.
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kRedirect = 5,
+  kEchoRequest = 8,
+  kAgentAdvertisement = 9,   // router advertisement + MHRP agent extension
+  kAgentSolicitation = 10,   // router solicitation
+  kTimeExceeded = 11,
+  kLocationUpdate = 40,      // MHRP (paper §4.3)
+};
+
+/// Codes for kDestUnreachable.
+enum class UnreachCode : std::uint8_t {
+  kNetUnreachable = 0,
+  kHostUnreachable = 1,
+  kProtocolUnreachable = 2,
+  kPortUnreachable = 3,
+};
+
+struct IcmpEcho {
+  bool is_request = true;
+  std::uint16_t ident = 0;
+  std::uint16_t sequence = 0;
+  std::vector<std::uint8_t> data;
+  bool operator==(const IcmpEcho&) const = default;
+};
+
+/// Destination unreachable / time exceeded quote the offending datagram.
+/// RFC 792 requires at least the IP header + 8 payload bytes; RFC 1122
+/// permits more (up to the whole datagram). MHRP's error reverse-tunneling
+/// (paper §4.5) behaves differently depending on how much was quoted, so
+/// the quote length is a parameter at generation time.
+struct IcmpUnreachable {
+  UnreachCode code = UnreachCode::kHostUnreachable;
+  std::vector<std::uint8_t> quoted;
+  bool operator==(const IcmpUnreachable&) const = default;
+};
+
+struct IcmpTimeExceeded {
+  std::vector<std::uint8_t> quoted;
+  bool operator==(const IcmpTimeExceeded&) const = default;
+};
+
+struct IcmpRedirect {
+  IpAddress gateway;
+  std::vector<std::uint8_t> quoted;
+  bool operator==(const IcmpRedirect&) const = default;
+};
+
+/// Periodic multicast from home/foreign agents (paper §3). `agent` is the
+/// address mobile hosts should register with on this network.
+struct IcmpAgentAdvertisement {
+  IpAddress agent;
+  bool offers_home_agent = false;
+  bool offers_foreign_agent = false;
+  std::uint16_t lifetime_s = 0;  // advertisement validity
+  std::uint16_t sequence = 0;
+  bool operator==(const IcmpAgentAdvertisement&) const = default;
+};
+
+struct IcmpAgentSolicitation {
+  bool operator==(const IcmpAgentSolicitation&) const = default;
+};
+
+/// The paper's new message (§4.3): "the IP address of the mobile host and
+/// the IP address of the foreign agent currently serving the mobile
+/// host." A foreign agent of 0 means the host is at home and cache
+/// entries for it should be deleted (paper §6.3); an update listing the
+/// mobile host with no live binding (sent during loop dissolution, §5.3)
+/// sets `invalidate`.
+struct IcmpLocationUpdate {
+  IpAddress mobile_host;
+  IpAddress foreign_agent;
+  bool invalidate = false;  // delete-your-entry form (loop dissolution)
+  bool operator==(const IcmpLocationUpdate&) const = default;
+};
+
+/// Any ICMP message whose type this node does not understand. Hosts must
+/// silently discard these (RFC 1122) — exactly the property the paper
+/// leans on for incremental deployment.
+struct IcmpUnknown {
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::vector<std::uint8_t> body;
+  bool operator==(const IcmpUnknown&) const = default;
+};
+
+using IcmpMessage =
+    std::variant<IcmpEcho, IcmpUnreachable, IcmpTimeExceeded, IcmpRedirect,
+                 IcmpAgentAdvertisement, IcmpAgentSolicitation,
+                 IcmpLocationUpdate, IcmpUnknown>;
+
+/// Encode to the ICMP wire format (type, code, checksum, body) with a
+/// valid checksum.
+[[nodiscard]] std::vector<std::uint8_t> encode_icmp(const IcmpMessage& msg);
+
+/// Decode; validates the ICMP checksum and per-type body lengths. Unknown
+/// types come back as IcmpUnknown. Throws util::CodecError on corruption.
+[[nodiscard]] IcmpMessage decode_icmp(std::span<const std::uint8_t> wire);
+
+/// The wire type byte of an encoded message (for tests and tracing).
+[[nodiscard]] IcmpType icmp_type_of(const IcmpMessage& msg);
+
+}  // namespace mhrp::net

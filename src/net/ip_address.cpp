@@ -1,0 +1,70 @@
+#include "net/ip_address.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mhrp::net {
+
+IpAddress IpAddress::parse(const std::string& text) {
+  std::uint32_t raw = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size() && octets < 4) {
+    std::size_t dot = text.find('.', pos);
+    std::string part = text.substr(pos, dot == std::string::npos
+                                            ? std::string::npos
+                                            : dot - pos);
+    if (part.empty() || part.size() > 3 ||
+        part.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("bad IPv4 address: " + text);
+    }
+    int value = std::stoi(part);
+    if (value > 255) throw std::invalid_argument("bad IPv4 octet: " + text);
+    raw = (raw << 8) | static_cast<std::uint32_t>(value);
+    ++octets;
+    if (dot == std::string::npos) {
+      pos = text.size() + 1;
+    } else {
+      pos = dot + 1;
+    }
+  }
+  if (octets != 4 || pos != text.size() + 1) {
+    throw std::invalid_argument("bad IPv4 address: " + text);
+  }
+  return IpAddress(raw);
+}
+
+std::string IpAddress::to_string() const {
+  std::ostringstream os;
+  os << ((raw_ >> 24) & 0xFF) << '.' << ((raw_ >> 16) & 0xFF) << '.'
+     << ((raw_ >> 8) & 0xFF) << '.' << (raw_ & 0xFF);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, IpAddress addr) {
+  return os << addr.to_string();
+}
+
+Prefix Prefix::parse(const std::string& text) {
+  auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("prefix missing '/': " + text);
+  }
+  IpAddress addr = IpAddress::parse(text.substr(0, slash));
+  int length = std::stoi(text.substr(slash + 1));
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("bad prefix length: " + text);
+  }
+  return Prefix(addr, length);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& p) {
+  return os << p.to_string();
+}
+
+}  // namespace mhrp::net

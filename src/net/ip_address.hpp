@@ -1,0 +1,117 @@
+// IPv4 addresses and prefixes.
+//
+// MHRP's whole premise rests on hierarchical IP addressing: an address is
+// (network number, host number) and normal routing delivers on the network
+// part alone (paper §1). Prefix captures the network part; the home
+// network of a mobile host is `Prefix::containing(home_address)`.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace mhrp::net {
+
+/// An IPv4 address. A plain value type; 0.0.0.0 doubles as "unspecified"
+/// and as MHRP's special "foreign agent address zero" meaning the mobile
+/// host is at home (paper §3).
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t raw) : raw_(raw) {}
+
+  /// Build from dotted-quad octets, e.g. IpAddress::of(10, 0, 1, 5).
+  static constexpr IpAddress of(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                std::uint8_t d) {
+    return IpAddress((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                     (std::uint32_t(c) << 8) | std::uint32_t(d));
+  }
+
+  /// Parse "a.b.c.d"; throws std::invalid_argument on malformed input.
+  static IpAddress parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return raw_ == 0; }
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    return raw_ == 0xFFFFFFFF;
+  }
+  /// 224.0.0.0/4 — used by agent discovery multicast (paper §3).
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (raw_ & 0xF0000000) == 0xE0000000;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, IpAddress addr);
+
+/// Well-known addresses.
+inline constexpr IpAddress kUnspecified{};
+inline constexpr IpAddress kBroadcast{0xFFFFFFFF};
+/// Multicast group agents advertise to (modeled after the ICMP router
+/// discovery all-systems group).
+inline constexpr IpAddress kAllAgentsGroup = IpAddress::of(224, 0, 0, 11);
+
+/// A network prefix: address plus mask length. Identifies an IP network;
+/// longest-prefix match over these drives every routing decision.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Canonicalizes: host bits of `addr` below `length` are cleared.
+  constexpr Prefix(IpAddress addr, int length)
+      : addr_(IpAddress(addr.raw() & mask_for(length))), length_(length) {}
+
+  /// The /32 host prefix for one address (host-specific routes, §3).
+  static constexpr Prefix host(IpAddress addr) { return Prefix(addr, 32); }
+
+  /// Parse "a.b.c.d/len".
+  static Prefix parse(const std::string& text);
+
+  [[nodiscard]] constexpr IpAddress address() const { return addr_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return mask_for(length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(IpAddress a) const {
+    return (a.raw() & mask()) == addr_.raw();
+  }
+
+  [[nodiscard]] constexpr bool is_host_route() const { return length_ == 32; }
+
+  /// The subnet-local broadcast address for this prefix.
+  [[nodiscard]] constexpr IpAddress broadcast() const {
+    return IpAddress(addr_.raw() | ~mask());
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) {
+    return length <= 0 ? 0 : (length >= 32 ? 0xFFFFFFFF : ~((1u << (32 - length)) - 1));
+  }
+
+  IpAddress addr_;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& p);
+
+}  // namespace mhrp::net
+
+template <>
+struct std::hash<mhrp::net::IpAddress> {
+  std::size_t operator()(const mhrp::net::IpAddress& a) const noexcept {
+    return std::hash<std::uint32_t>()(a.raw());
+  }
+};

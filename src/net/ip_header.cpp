@@ -1,0 +1,157 @@
+#include "net/ip_header.hpp"
+
+#include "util/checksum.hpp"
+
+namespace mhrp::net {
+
+IpOption make_lsrr_option(const std::vector<IpAddress>& route,
+                          std::size_t pointer_index) {
+  IpOption opt;
+  opt.kind = IpOptionKind::kLooseSourceRoute;
+  // RFC 791 LSRR data layout after (type, length): pointer octet, then the
+  // route list. Pointer is relative to the start of the option and is at
+  // minimum 4 (first route slot).
+  opt.data.reserve(1 + route.size() * 4);
+  opt.data.push_back(static_cast<std::uint8_t>(4 + pointer_index * 4));
+  for (IpAddress a : route) {
+    opt.data.push_back(static_cast<std::uint8_t>(a.raw() >> 24));
+    opt.data.push_back(static_cast<std::uint8_t>(a.raw() >> 16));
+    opt.data.push_back(static_cast<std::uint8_t>(a.raw() >> 8));
+    opt.data.push_back(static_cast<std::uint8_t>(a.raw()));
+  }
+  return opt;
+}
+
+LsrrView parse_lsrr_option(const IpOption& option) {
+  if (option.kind != IpOptionKind::kLooseSourceRoute || option.data.empty() ||
+      (option.data.size() - 1) % 4 != 0) {
+    throw util::CodecError("malformed LSRR option");
+  }
+  LsrrView view;
+  std::uint8_t pointer = option.data[0];
+  if (pointer < 4 || (pointer - 4) % 4 != 0) {
+    throw util::CodecError("malformed LSRR pointer");
+  }
+  view.pointer_index = static_cast<std::size_t>(pointer - 4) / 4;
+  for (std::size_t i = 1; i + 3 < option.data.size(); i += 4) {
+    view.route.emplace_back((std::uint32_t(option.data[i]) << 24) |
+                            (std::uint32_t(option.data[i + 1]) << 16) |
+                            (std::uint32_t(option.data[i + 2]) << 8) |
+                            std::uint32_t(option.data[i + 3]));
+  }
+  return view;
+}
+
+std::size_t IpHeader::encoded_size() const {
+  std::size_t opts = 0;
+  for (const auto& o : options) opts += o.encoded_size();
+  return 20 + (opts + 3) / 4 * 4;  // options padded to 32-bit words
+}
+
+void IpHeader::encode(util::ByteWriter& w, std::size_t payload_size) const {
+  const std::size_t header_size = encoded_size();
+  const std::size_t total = header_size + payload_size;
+  if (total > 0xFFFF) throw util::CodecError("IP datagram too long");
+  const std::size_t start = w.size();
+
+  w.u8(static_cast<std::uint8_t>((4u << 4) | (header_size / 4)));
+  w.u8(tos);
+  w.u16(static_cast<std::uint16_t>(total));
+  w.u16(identification);
+  std::uint16_t frag = fragment_offset & 0x1FFF;
+  if (dont_fragment) frag |= 0x4000;
+  if (more_fragments) frag |= 0x2000;
+  w.u16(frag);
+  w.u8(ttl);
+  w.u8(protocol);
+  const std::size_t checksum_at = w.size();
+  w.u16(0);  // checksum placeholder
+  w.u32(src.raw());
+  w.u32(dst.raw());
+
+  std::size_t opts_written = 0;
+  for (const auto& o : options) {
+    w.u8(static_cast<std::uint8_t>(o.kind));
+    if (o.encoded_size() > 1) {
+      w.u8(static_cast<std::uint8_t>(o.encoded_size()));
+      w.bytes(o.data);
+    }
+    opts_written += o.encoded_size();
+  }
+  // Pad options region to the 4-byte boundary declared in IHL.
+  w.zeros(header_size - 20 - opts_written);
+
+  w.patch_u16(checksum_at,
+              util::internet_checksum(w.view().subspan(start, header_size)));
+}
+
+IpHeader IpHeader::decode(util::ByteReader& reader, std::size_t* total_length) {
+  const std::size_t start = reader.position();
+  std::uint8_t ver_ihl = reader.u8();
+  if ((ver_ihl >> 4) != 4) throw util::CodecError("not IPv4");
+  const std::size_t header_size = static_cast<std::size_t>(ver_ihl & 0x0F) * 4;
+  if (header_size < 20) throw util::CodecError("IHL too small");
+
+  IpHeader h;
+  h.tos = reader.u8();
+  std::uint16_t total = reader.u16();
+  if (total < header_size) throw util::CodecError("IP total length < header");
+  if (total_length != nullptr) *total_length = total;
+  h.identification = reader.u16();
+  std::uint16_t frag = reader.u16();
+  h.dont_fragment = (frag & 0x4000) != 0;
+  h.more_fragments = (frag & 0x2000) != 0;
+  h.fragment_offset = frag & 0x1FFF;
+  h.ttl = reader.u8();
+  h.protocol = reader.u8();
+  reader.skip(2);  // checksum, verified below over the whole header
+  h.src = IpAddress(reader.u32());
+  h.dst = IpAddress(reader.u32());
+
+  std::size_t opts_remaining = header_size - 20;
+  while (opts_remaining > 0) {
+    auto kind = static_cast<IpOptionKind>(reader.u8());
+    --opts_remaining;
+    if (kind == IpOptionKind::kEndOfList) {
+      reader.skip(opts_remaining);  // rest is padding
+      opts_remaining = 0;
+      break;
+    }
+    if (kind == IpOptionKind::kNoOperation) continue;
+    if (opts_remaining < 1) throw util::CodecError("truncated IP option");
+    std::uint8_t len = reader.u8();
+    --opts_remaining;
+    if (len < 2 || static_cast<std::size_t>(len - 2) > opts_remaining) {
+      throw util::CodecError("bad IP option length");
+    }
+    IpOption o;
+    o.kind = kind;
+    o.data = reader.bytes(len - 2);
+    opts_remaining -= len - 2;
+    h.options.push_back(std::move(o));
+  }
+
+  // Verify the header checksum over the full encoded header.
+  // reader.position() is now start + header_size.
+  // (We re-slice from the underlying buffer via rest()'s complement.)
+  // ByteReader does not expose the base span directly, so checksum
+  // verification happens in Packet::deserialize which holds the buffer.
+  (void)start;
+  return h;
+}
+
+const IpOption* IpHeader::find_option(IpOptionKind kind) const {
+  for (const auto& o : options) {
+    if (o.kind == kind) return &o;
+  }
+  return nullptr;
+}
+
+IpOption* IpHeader::find_option(IpOptionKind kind) {
+  for (auto& o : options) {
+    if (o.kind == kind) return &o;
+  }
+  return nullptr;
+}
+
+}  // namespace mhrp::net

@@ -1,0 +1,92 @@
+// The IPv4 header, encoded byte-exactly (RFC 791), including IP options.
+//
+// Options matter to this reproduction: the IBM baseline (paper §7) carries
+// a Loose Source Route and Record (LSRR) option in every packet, and the
+// paper's scalability argument is that option-bearing packets fall off the
+// router fast path. Exact option encoding lets bench_overhead and
+// bench_lsrr_slowpath measure, not assert, those costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "net/protocols.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::net {
+
+/// IP option kinds used in the reproduction.
+enum class IpOptionKind : std::uint8_t {
+  kEndOfList = 0,
+  kNoOperation = 1,
+  kLooseSourceRoute = 131,  // LSRR, used by the IBM baseline
+};
+
+/// One IP option. Single-octet options (EOL, NOP) have empty data and
+/// encode as one byte; all others encode as kind, length, data.
+struct IpOption {
+  IpOptionKind kind = IpOptionKind::kNoOperation;
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] std::size_t encoded_size() const {
+    return (kind == IpOptionKind::kEndOfList ||
+            kind == IpOptionKind::kNoOperation)
+               ? 1
+               : 2 + data.size();
+  }
+
+  bool operator==(const IpOption&) const = default;
+};
+
+/// Builds an LSRR option whose route list has room for `slots` addresses,
+/// with `filled` of them already set. The pointer field starts at the
+/// first unfilled slot, per RFC 791.
+[[nodiscard]] IpOption make_lsrr_option(const std::vector<IpAddress>& route,
+                                        std::size_t pointer_index = 0);
+
+/// Parsed view of an LSRR option: the recorded route and the index of the
+/// next slot the pointer designates.
+struct LsrrView {
+  std::vector<IpAddress> route;
+  std::size_t pointer_index = 0;
+};
+[[nodiscard]] LsrrView parse_lsrr_option(const IpOption& option);
+
+/// The IPv4 header. Total length and header checksum are computed during
+/// encoding; decoding validates the checksum and header length.
+struct IpHeader {
+  std::uint8_t tos = 0;
+  std::uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-octet units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = to_u8(IpProto::kUdp);
+  IpAddress src;
+  IpAddress dst;
+  std::vector<IpOption> options;
+
+  /// Header size on the wire: 20 bytes plus options padded to a multiple
+  /// of 4 (the IHL unit).
+  [[nodiscard]] std::size_t encoded_size() const;
+
+  /// Append the header (with computed checksum) for a datagram whose
+  /// payload is `payload_size` bytes long.
+  void encode(util::ByteWriter& w, std::size_t payload_size) const;
+
+  /// Decode and verify a header; on return `reader` is positioned at the
+  /// first payload byte and `total_length` holds the datagram length from
+  /// the header. Throws util::CodecError on malformed input.
+  static IpHeader decode(util::ByteReader& reader, std::size_t* total_length);
+
+  [[nodiscard]] bool has_options() const { return !options.empty(); }
+
+  /// The first option of the given kind, or nullptr.
+  [[nodiscard]] const IpOption* find_option(IpOptionKind kind) const;
+  [[nodiscard]] IpOption* find_option(IpOptionKind kind);
+
+  bool operator==(const IpHeader&) const = default;
+};
+
+}  // namespace mhrp::net

@@ -1,0 +1,88 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace mhrp::net {
+
+Link::Link(sim::Simulator& sim, std::string name, sim::Time latency,
+           std::uint64_t bandwidth_bps)
+    : sim_(sim),
+      name_(std::move(name)),
+      latency_(latency),
+      bandwidth_bps_(bandwidth_bps) {}
+
+Link::~Link() {
+  for (Interface* iface : members_) iface->link_ = nullptr;
+}
+
+void Link::attach(Interface& iface) {
+  if (iface.link_ == this) return;
+  if (iface.link_ != nullptr) iface.link_->detach(iface);
+  members_.push_back(&iface);
+  iface.link_ = this;
+}
+
+void Link::detach(Interface& iface) {
+  auto it = std::find(members_.begin(), members_.end(), &iface);
+  if (it != members_.end()) {
+    members_.erase(it);
+    iface.link_ = nullptr;
+  }
+}
+
+bool Link::has_member(const Interface& iface) const {
+  return iface.link_ == this;
+}
+
+sim::Time Link::delay_for(std::size_t frame_bytes) const {
+  sim::Time delay = latency_;
+  if (bandwidth_bps_ > 0) {
+    delay += static_cast<sim::Time>(frame_bytes * 8 * 1'000'000ull /
+                                    bandwidth_bps_);
+  }
+  return delay;
+}
+
+void Link::transmit(const Interface& from, Frame frame) {
+  if (!up_) return;
+  if (rng_ != nullptr && loss_probability_ > 0.0 &&
+      rng_->chance(loss_probability_)) {
+    return;
+  }
+  ++frames_carried_;
+  bytes_carried_ += frame.wire_size();
+  if (frame.is_ip()) {
+    frame.packet().note_wire_crossing(frame.packet().wire_size());
+  }
+  const sim::Time delay = delay_for(frame.wire_size());
+
+  // Delivery re-checks membership when the frame "arrives": an interface
+  // that detached mid-flight (a radio that left the cell) must not hear
+  // it — otherwise a mobile host could receive a stale agent
+  // advertisement from the cell it just left and register with an
+  // unreachable agent.
+  if (frame.dst.is_broadcast()) {
+    for (Interface* member : members_) {
+      if (member == &from) continue;
+      Frame copy = frame;
+      sim_.after(delay, [this, member, copy = std::move(copy)]() mutable {
+        if (has_member(*member)) member->deliver(std::move(copy));
+      });
+    }
+    return;
+  }
+
+  for (Interface* member : members_) {
+    if (member == &from) continue;
+    if (member->mac() == frame.dst) {
+      sim_.after(delay, [this, member, frame = std::move(frame)]() mutable {
+        if (has_member(*member)) member->deliver(std::move(frame));
+      });
+      return;
+    }
+  }
+  // No member owns the destination MAC: the frame vanishes, as on a real
+  // segment (e.g. a mobile host that silently left the cell).
+}
+
+}  // namespace mhrp::net

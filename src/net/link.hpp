@@ -1,0 +1,75 @@
+// A Link is a broadcast domain (LAN segment, wireless cell, or a
+// point-to-point circuit, which is just a two-member domain). Frames are
+// delivered after propagation latency plus serialization delay, with
+// optional loss; delivery is by destination MAC, or to every member for
+// the broadcast address.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/interface.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mhrp::net {
+
+class Link {
+ public:
+  /// `bandwidth_bps` of 0 means infinite (no serialization delay).
+  Link(sim::Simulator& sim, std::string name, sim::Time latency,
+       std::uint64_t bandwidth_bps = 0);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+  ~Link();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Time latency() const { return latency_; }
+
+  /// Attach an interface to this link; detaches it from any previous
+  /// link first (this is how a mobile host changes cells).
+  void attach(Interface& iface);
+  void detach(Interface& iface);
+  [[nodiscard]] bool has_member(const Interface& iface) const;
+  [[nodiscard]] const std::vector<Interface*>& members() const {
+    return members_;
+  }
+
+  /// Independent per-frame drop probability; `rng` must outlive the link.
+  void set_loss(double probability, util::Rng* rng) {
+    loss_probability_ = probability;
+    rng_ = rng;
+  }
+
+  /// Administratively disable/enable the link (models a down circuit,
+  /// used by the robustness experiments). Frames sent while down are lost.
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Transmit from `from` (which must be attached). Schedules delivery to
+  /// the matching member(s) after the link delay.
+  void transmit(const Interface& from, Frame frame);
+
+  // Traffic counters for metrics.
+  [[nodiscard]] std::uint64_t frames_carried() const { return frames_carried_; }
+  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_carried_; }
+
+ private:
+  [[nodiscard]] sim::Time delay_for(std::size_t frame_bytes) const;
+
+  sim::Simulator& sim_;
+  std::string name_;
+  sim::Time latency_;
+  std::uint64_t bandwidth_bps_;
+  std::vector<Interface*> members_;
+  double loss_probability_ = 0.0;
+  util::Rng* rng_ = nullptr;
+  bool up_ = true;
+  std::uint64_t frames_carried_ = 0;
+  std::uint64_t bytes_carried_ = 0;
+};
+
+}  // namespace mhrp::net

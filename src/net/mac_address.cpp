@@ -1,0 +1,24 @@
+#include "net/mac_address.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace mhrp::net {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((raw_ >> 40) & 0xFF),
+                static_cast<unsigned>((raw_ >> 32) & 0xFF),
+                static_cast<unsigned>((raw_ >> 24) & 0xFF),
+                static_cast<unsigned>((raw_ >> 16) & 0xFF),
+                static_cast<unsigned>((raw_ >> 8) & 0xFF),
+                static_cast<unsigned>(raw_ & 0xFF));
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, MacAddress mac) {
+  return os << mac.to_string();
+}
+
+}  // namespace mhrp::net

@@ -1,0 +1,47 @@
+// Link-layer (Ethernet-style) addresses. Needed because MHRP's home-agent
+// interception works at this layer: the home agent answers ARP for absent
+// mobile hosts with its own MAC (proxy ARP) and repairs neighbor caches
+// with gratuitous ARP replies (paper §2).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace mhrp::net {
+
+/// A 48-bit hardware address stored in the low bits of a u64.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::uint64_t raw)
+      : raw_(raw & 0xFFFFFFFFFFFFull) {}
+
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    return raw_ == 0xFFFFFFFFFFFFull;
+  }
+  [[nodiscard]] constexpr bool is_unspecified() const { return raw_ == 0; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+inline constexpr MacAddress kMacBroadcast{0xFFFFFFFFFFFFull};
+
+std::ostream& operator<<(std::ostream& os, MacAddress mac);
+
+}  // namespace mhrp::net
+
+template <>
+struct std::hash<mhrp::net::MacAddress> {
+  std::size_t operator()(const mhrp::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>()(m.raw());
+  }
+};

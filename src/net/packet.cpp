@@ -1,0 +1,37 @@
+#include "net/packet.hpp"
+
+#include "util/checksum.hpp"
+
+namespace mhrp::net {
+
+std::uint64_t Packet::next_id() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  util::ByteWriter w(wire_size());
+  header_.encode(w, payload_.size());
+  w.bytes(payload_);
+  return w.take();
+}
+
+Packet Packet::deserialize(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 20) throw util::CodecError("datagram shorter than 20B");
+  const std::size_t header_size = static_cast<std::size_t>(wire[0] & 0x0F) * 4;
+  if (header_size < 20 || header_size > wire.size()) {
+    throw util::CodecError("bad IHL");
+  }
+  if (!util::checksum_ok(wire.subspan(0, header_size))) {
+    throw util::CodecError("IP header checksum mismatch");
+  }
+  util::ByteReader r(wire);
+  std::size_t total_length = 0;
+  IpHeader h = IpHeader::decode(r, &total_length);
+  if (total_length > wire.size()) throw util::CodecError("truncated datagram");
+  Packet p(std::move(h));
+  p.payload() = r.bytes(total_length - header_size);
+  return p;
+}
+
+}  // namespace mhrp::net

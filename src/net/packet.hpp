@@ -1,0 +1,96 @@
+// The unit of work in the simulated internetwork: an IP datagram plus
+// simulation-only metadata (identity, timestamps, hop counts) that never
+// appears on the wire. `serialize()`/`deserialize()` round-trip the exact
+// RFC 791 byte layout; `wire_size()` is what every overhead benchmark
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ip_header.hpp"
+#include "sim/time.hpp"
+
+namespace mhrp::net {
+
+class Packet {
+ public:
+  Packet() : id_(next_id()) {}
+  explicit Packet(IpHeader header, std::vector<std::uint8_t> payload = {})
+      : header_(std::move(header)), payload_(std::move(payload)), id_(next_id()) {}
+
+  IpHeader& header() { return header_; }
+  [[nodiscard]] const IpHeader& header() const { return header_; }
+
+  std::vector<std::uint8_t>& payload() { return payload_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const {
+    return payload_;
+  }
+
+  /// Exact size of the datagram on the wire (IP header incl. options +
+  /// payload). Link-layer framing is excluded — it is identical for every
+  /// protocol compared and would cancel out of every comparison.
+  [[nodiscard]] std::size_t wire_size() const {
+    return header_.encoded_size() + payload_.size();
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a datagram, validating version, lengths, and header checksum.
+  static Packet deserialize(std::span<const std::uint8_t> wire);
+
+  // ---- Simulation metadata (not on the wire) ----
+
+  /// Unique per-construction id; copies made for broadcast delivery share
+  /// the id of their original, which lets metrics correlate them.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  [[nodiscard]] sim::Time created_at() const { return created_at_; }
+  void set_created_at(sim::Time t) { created_at_ = t; }
+
+  /// Number of links this datagram has crossed so far.
+  [[nodiscard]] int hop_count() const { return hop_count_; }
+  void count_hop() { ++hop_count_; }
+
+  /// Workload tag used by metrics to group packets into flows.
+  [[nodiscard]] std::uint64_t flow_id() const { return flow_id_; }
+  void set_flow_id(std::uint64_t f) { flow_id_ = f; }
+
+  /// Size of the application payload before any headers were added.
+  /// Metrics subtract this (plus one base IP header) from `wire_size()`
+  /// to obtain per-packet mobility overhead in bytes.
+  [[nodiscard]] std::size_t base_payload_size() const {
+    return base_payload_size_;
+  }
+  void set_base_payload_size(std::size_t n) { base_payload_size_ = n; }
+
+  /// Largest datagram size this packet had on any link it crossed —
+  /// recorded by Link::transmit. For a tunneled packet this captures the
+  /// fully encapsulated size even though the receiver sees it
+  /// decapsulated; `max_wire_size() - 20 - base_payload_size()` is the
+  /// per-packet mobility overhead every E1-style benchmark reports.
+  [[nodiscard]] std::size_t max_wire_size() const { return max_wire_size_; }
+  /// Total bytes this packet (in all its encapsulations) put on the wire.
+  [[nodiscard]] std::uint64_t total_wire_bytes() const {
+    return total_wire_bytes_;
+  }
+  void note_wire_crossing(std::size_t datagram_bytes) {
+    if (datagram_bytes > max_wire_size_) max_wire_size_ = datagram_bytes;
+    total_wire_bytes_ += datagram_bytes;
+  }
+
+ private:
+  static std::uint64_t next_id();
+
+  IpHeader header_;
+  std::vector<std::uint8_t> payload_;
+  std::uint64_t id_ = 0;
+  sim::Time created_at_ = 0;
+  int hop_count_ = 0;
+  std::uint64_t flow_id_ = 0;
+  std::size_t base_payload_size_ = 0;
+  std::size_t max_wire_size_ = 0;
+  std::uint64_t total_wire_bytes_ = 0;
+};
+
+}  // namespace mhrp::net

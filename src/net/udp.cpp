@@ -1,0 +1,39 @@
+#include "net/udp.hpp"
+
+#include "util/checksum.hpp"
+
+namespace mhrp::net {
+
+std::vector<std::uint8_t> encode_udp(const UdpHeader& header,
+                                     std::span<const std::uint8_t> data) {
+  util::ByteWriter w(UdpHeader::kSize + data.size());
+  w.u16(header.src_port);
+  w.u16(header.dst_port);
+  const std::size_t total = UdpHeader::kSize + data.size();
+  if (total > 0xFFFF) throw util::CodecError("UDP datagram too long");
+  w.u16(static_cast<std::uint16_t>(total));
+  w.u16(0);  // checksum placeholder
+  w.bytes(data);
+  w.patch_u16(6, util::internet_checksum(w.view()));
+  return w.take();
+}
+
+UdpDatagram decode_udp(std::span<const std::uint8_t> wire) {
+  if (wire.size() < UdpHeader::kSize) {
+    throw util::CodecError("UDP shorter than 8B");
+  }
+  if (!util::checksum_ok(wire)) throw util::CodecError("UDP checksum mismatch");
+  util::ByteReader r(wire);
+  UdpDatagram d;
+  d.header.src_port = r.u16();
+  d.header.dst_port = r.u16();
+  std::uint16_t length = r.u16();
+  if (length < UdpHeader::kSize || length > wire.size()) {
+    throw util::CodecError("bad UDP length");
+  }
+  r.skip(2);  // checksum
+  d.data = r.bytes(length - UdpHeader::kSize);
+  return d;
+}
+
+}  // namespace mhrp::net

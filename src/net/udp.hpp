@@ -1,0 +1,36 @@
+// UDP header codec (RFC 768). The registration/control messages of MHRP
+// and of the baseline protocols, the distance-vector routing updates, and
+// the benchmark workloads all ride on this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::net {
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  static constexpr std::size_t kSize = 8;
+
+  bool operator==(const UdpHeader&) const = default;
+};
+
+/// Encode a UDP datagram: 8-byte header followed by `data`. The checksum
+/// is computed over the datagram body (the simulator does not model the
+/// IPv4 pseudo-header; corruption never occurs in-sim, and the field is
+/// optional in real UDP/IPv4).
+[[nodiscard]] std::vector<std::uint8_t> encode_udp(
+    const UdpHeader& header, std::span<const std::uint8_t> data);
+
+/// Decode; returns the header and positions `payload` at the data bytes.
+struct UdpDatagram {
+  UdpHeader header;
+  std::vector<std::uint8_t> data;
+};
+[[nodiscard]] UdpDatagram decode_udp(std::span<const std::uint8_t> wire);
+
+}  // namespace mhrp::net

@@ -1,0 +1,177 @@
+#include "node/dv_routing.hpp"
+
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::node {
+
+namespace {
+// Update entry wire format: prefix address (4), prefix length (1),
+// metric (1).
+constexpr std::size_t kEntrySize = 6;
+}  // namespace
+
+DistanceVector::DistanceVector(Node& node, Config config)
+    : node_(node),
+      config_(config),
+      timer_(node.sim(), config.update_period, [this] { send_updates(); }) {
+  node_.bind_udp(kPort, [this](const net::UdpDatagram& d,
+                               const net::IpHeader& h, net::Interface& i) {
+    on_update(d, h, i);
+  });
+}
+
+void DistanceVector::start() {
+  send_updates();
+  timer_.start();
+}
+
+void DistanceVector::stop() { timer_.stop(); }
+
+void DistanceVector::advertise_host_route(net::IpAddress addr, bool enabled) {
+  if (enabled) {
+    host_routes_.insert(addr);
+    withdrawing_.erase(addr);
+  } else if (host_routes_.erase(addr) > 0) {
+    // Poison the route for a few rounds so neighbors flush immediately.
+    withdrawing_[addr] = 3;
+  }
+  send_updates();
+}
+
+std::vector<std::uint8_t> DistanceVector::encode_table(
+    const net::Interface& out_iface) const {
+  util::ByteWriter w;
+  std::size_t count = 0;
+  const std::size_t count_at = w.size();
+  w.u16(0);  // patched below
+
+  auto emit = [&](const net::Prefix& prefix, int metric) {
+    w.u32(prefix.address().raw());
+    w.u8(static_cast<std::uint8_t>(prefix.length()));
+    w.u8(static_cast<std::uint8_t>(metric > kInfinity ? kInfinity : metric));
+    ++count;
+  };
+
+  // Connected subnets, metric 0 at the origin.
+  for (const auto& iface : node_.interfaces()) {
+    emit(iface->prefix(), 0);
+  }
+  // Locally originated host routes (paper §3 mechanism).
+  for (net::IpAddress addr : host_routes_) {
+    emit(net::Prefix::host(addr), 0);
+  }
+  // Poisoned withdrawals.
+  for (const auto& [addr, rounds] : withdrawing_) {
+    emit(net::Prefix::host(addr), kInfinity);
+  }
+  // Learned routes, with split horizon.
+  for (const auto& [prefix, learned] : learned_) {
+    if (config_.split_horizon && learned.iface == &out_iface) continue;
+    emit(prefix, learned.metric);
+  }
+
+  w.patch_u16(count_at, static_cast<std::uint16_t>(count));
+  return w.take();
+}
+
+void DistanceVector::send_updates() {
+  expire_stale();
+  for (auto it = withdrawing_.begin(); it != withdrawing_.end();) {
+    if (--it->second <= 0) {
+      it = withdrawing_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& iface : node_.interfaces()) {
+    if (!iface->attached()) continue;
+    auto body = encode_table(*iface);
+    node_.send_udp_broadcast(*iface, kPort, kPort, body);
+    ++updates_sent_;
+  }
+}
+
+void DistanceVector::on_update(const net::UdpDatagram& datagram,
+                               const net::IpHeader& header,
+                               net::Interface& iface) {
+  if (node_.owns_address(header.src)) return;  // our own broadcast
+  ++updates_received_;
+  util::ByteReader r(datagram.data);
+  std::uint16_t count = 0;
+  try {
+    count = r.u16();
+  } catch (const util::CodecError&) {
+    return;
+  }
+  bool changed = false;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    net::Prefix prefix;
+    int metric = 0;
+    try {
+      net::IpAddress addr(r.u32());
+      int length = r.u8();
+      metric = r.u8();
+      if (length > 32) continue;
+      prefix = net::Prefix(addr, length);
+    } catch (const util::CodecError&) {
+      return;
+    }
+    const int candidate = std::min(metric + 1, kInfinity);
+
+    // Never override our own connected subnets or originated routes.
+    bool connected = false;
+    for (const auto& own : node_.interfaces()) {
+      if (own->prefix() == prefix) connected = true;
+    }
+    if (connected || (prefix.is_host_route() &&
+                      host_routes_.count(prefix.address()) > 0)) {
+      continue;
+    }
+
+    auto it = learned_.find(prefix);
+    const bool from_current_next_hop =
+        it != learned_.end() && it->second.from == header.src;
+    if (it == learned_.end() || candidate < it->second.metric ||
+        from_current_next_hop) {
+      if (candidate >= kInfinity) {
+        if (it != learned_.end() && from_current_next_hop) {
+          learned_.erase(it);
+          node_.routing_table().remove(prefix);
+          // Pass the poison along so withdrawal floods the domain instead
+          // of waiting out each hop's route lifetime.
+          if (prefix.is_host_route()) {
+            withdrawing_[prefix.address()] = 3;
+          }
+          changed = true;
+        }
+        continue;
+      }
+      Learned l{candidate, header.src, &iface, node_.sim().now()};
+      const bool metric_changed =
+          it == learned_.end() || it->second.metric != candidate ||
+          it->second.from != header.src;
+      learned_[prefix] = l;
+      node_.routing_table().install({prefix, header.src, &iface, candidate,
+                                     prefix.is_host_route()
+                                         ? routing::RouteKind::kHostSpecific
+                                         : routing::RouteKind::kDynamic});
+      changed = changed || metric_changed;
+    }
+  }
+  // Triggered updates on change accelerate convergence.
+  if (changed) send_updates();
+}
+
+void DistanceVector::expire_stale() {
+  const sim::Time now = node_.sim().now();
+  for (auto it = learned_.begin(); it != learned_.end();) {
+    if (now - it->second.heard_at > config_.route_lifetime) {
+      node_.routing_table().remove(it->first);
+      it = learned_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mhrp::node

@@ -1,0 +1,83 @@
+// A small RIP-like distance-vector routing service.
+//
+// Two purposes in this reproduction: (1) it gives the substrate a live,
+// convergent routing protocol instead of only statically installed routes;
+// (2) it implements the host-specific-route alternative of paper §3 — a
+// home agent may advertise a /32 for a disconnected mobile host so one
+// agent can cover a whole routing domain, withdrawing it when the host
+// returns. Such routes are kept inside the domain (they are never
+// summarized here, mirroring the paper's "would not be propagated outside
+// that routing domain").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "node/node.hpp"
+#include "sim/timer.hpp"
+
+namespace mhrp::node {
+
+/// Tunables for the distance-vector service.
+struct DvConfig {
+  sim::Time update_period = sim::seconds(10);
+  sim::Time route_lifetime = sim::seconds(30);
+  bool split_horizon = true;
+};
+
+class DistanceVector {
+ public:
+  static constexpr std::uint16_t kPort = 520;
+  static constexpr int kInfinity = 16;
+
+  using Config = DvConfig;
+
+  explicit DistanceVector(Node& node, Config config = Config());
+
+  /// Begin periodic advertisement (first update goes out immediately).
+  void start();
+  void stop();
+
+  /// Advertise (or withdraw) a host-specific /32 route for `addr`,
+  /// originating at this node with metric 0 (paper §3).
+  void advertise_host_route(net::IpAddress addr, bool enabled);
+
+  /// Send one update on every interface now (tests use this to step
+  /// convergence deterministically).
+  void send_updates();
+
+  [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
+  [[nodiscard]] std::uint64_t updates_received() const {
+    return updates_received_;
+  }
+
+ private:
+  struct Learned {
+    int metric = kInfinity;
+    net::IpAddress from;           // advertising neighbor
+    net::Interface* iface = nullptr;
+    sim::Time heard_at = 0;
+  };
+
+  void on_update(const net::UdpDatagram& datagram, const net::IpHeader& header,
+                 net::Interface& iface);
+  void expire_stale();
+  [[nodiscard]] std::vector<std::uint8_t> encode_table(
+      const net::Interface& out_iface) const;
+
+  Node& node_;
+  Config config_;
+  sim::PeriodicTimer timer_;
+  std::map<net::Prefix, Learned> learned_;
+  std::set<net::IpAddress> host_routes_;  // locally originated /32s
+  // Recently withdrawn host routes, poisoned (metric = infinity) for a
+  // few update rounds so neighbors flush immediately instead of waiting
+  // for expiry. Value = remaining rounds.
+  std::map<net::IpAddress, int> withdrawing_;
+  std::uint64_t updates_sent_ = 0;
+  std::uint64_t updates_received_ = 0;
+};
+
+}  // namespace mhrp::node

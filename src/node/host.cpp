@@ -1,0 +1,76 @@
+#include "node/host.hpp"
+
+namespace mhrp::node {
+
+namespace {
+std::uint16_t next_ident() {
+  static std::uint16_t counter = 0;
+  return ++counter;
+}
+}  // namespace
+
+Host::Host(sim::Simulator& sim, std::string name)
+    : Node(sim, std::move(name)), ping_ident_(next_ident()) {
+  add_icmp_handler([this](const net::IcmpMessage& msg,
+                          const net::IpHeader& header, net::Interface& iface) {
+    return on_icmp(msg, header, iface);
+  });
+}
+
+std::uint16_t Host::ping(net::IpAddress dst, PingCallback callback,
+                         std::size_t payload_size, sim::Time timeout) {
+  const std::uint16_t seq = next_ping_seq_++;
+  net::IcmpEcho echo;
+  echo.is_request = true;
+  echo.ident = ping_ident_;
+  echo.sequence = seq;
+  echo.data.assign(payload_size, 0xA5);
+
+  PendingPing pending;
+  pending.callback = std::move(callback);
+  pending.sent_at = sim().now();
+  pending.timeout = sim().after(timeout, [this, seq] {
+    auto it = pending_pings_.find(seq);
+    if (it == pending_pings_.end()) return;
+    PingCallback cb = std::move(it->second.callback);
+    pending_pings_.erase(it);
+    cb(PingResult{false, 0, seq});
+  });
+  pending_pings_.emplace(seq, std::move(pending));
+
+  send_icmp(dst, echo);
+  return seq;
+}
+
+bool Host::on_icmp(const net::IcmpMessage& msg, const net::IpHeader& header,
+                   net::Interface& iface) {
+  (void)header;
+  (void)iface;
+  const auto* echo = std::get_if<net::IcmpEcho>(&msg);
+  if (echo == nullptr || echo->is_request || echo->ident != ping_ident_) {
+    return false;
+  }
+  auto it = pending_pings_.find(echo->sequence);
+  if (it == pending_pings_.end()) return true;  // late duplicate
+  sim().cancel(it->second.timeout);
+  PingCallback cb = std::move(it->second.callback);
+  const sim::Time rtt = sim().now() - it->second.sent_at;
+  pending_pings_.erase(it);
+  cb(PingResult{true, rtt, echo->sequence});
+  return true;
+}
+
+void Host::start_udp_echo(std::uint16_t port) {
+  bind_udp(port, [this, port](const net::UdpDatagram& datagram,
+                              const net::IpHeader& header, net::Interface&) {
+    send_udp(header.src, port, datagram.header.src_port, datagram.data);
+  });
+}
+
+void Host::udp_send(net::IpAddress dst, std::uint16_t dst_port,
+                    std::span<const std::uint8_t> data) {
+  if (++next_ephemeral_port_ == 0) next_ephemeral_port_ = 49152;
+  send_udp(dst, next_ephemeral_port_, dst_port, data);
+}
+
+}  // namespace mhrp::node

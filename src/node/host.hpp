@@ -1,0 +1,54 @@
+// Host: a Node with end-system conveniences — ICMP ping with RTT
+// callbacks and UDP request/response helpers. Workloads in the scenario
+// layer and the examples drive traffic through this API.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "node/node.hpp"
+
+namespace mhrp::node {
+
+class Host : public Node {
+ public:
+  Host(sim::Simulator& sim, std::string name);
+
+  /// Result of one ping attempt.
+  struct PingResult {
+    bool replied = false;
+    sim::Time rtt = 0;
+    std::uint16_t sequence = 0;
+  };
+  using PingCallback = std::function<void(const PingResult&)>;
+
+  /// Send an ICMP echo request; `callback` fires on the reply or after
+  /// `timeout` with replied=false. Returns the sequence number used.
+  std::uint16_t ping(net::IpAddress dst, PingCallback callback,
+                     std::size_t payload_size = 32,
+                     sim::Time timeout = sim::seconds(5));
+
+  /// Run a UDP echo responder on `port`.
+  void start_udp_echo(std::uint16_t port);
+
+  /// Fire-and-forget datagram from an ephemeral port.
+  void udp_send(net::IpAddress dst, std::uint16_t dst_port,
+                std::span<const std::uint8_t> data);
+
+ private:
+  struct PendingPing {
+    PingCallback callback;
+    sim::Time sent_at = 0;
+    sim::EventHandle timeout;
+  };
+
+  bool on_icmp(const net::IcmpMessage& msg, const net::IpHeader& header,
+               net::Interface& iface);
+
+  std::uint16_t ping_ident_;
+  std::uint16_t next_ping_seq_ = 1;
+  std::uint16_t next_ephemeral_port_ = 49152;
+  std::map<std::uint16_t, PendingPing> pending_pings_;  // by sequence
+};
+
+}  // namespace mhrp::node

@@ -1,0 +1,18 @@
+// Router: a Node with packet forwarding enabled. Routers in the paper's
+// Figure 1 (R1..R4) are these, optionally augmented with MHRP agent roles
+// from src/core.
+#pragma once
+
+#include "node/node.hpp"
+
+namespace mhrp::node {
+
+class Router : public Node {
+ public:
+  Router(sim::Simulator& sim, std::string name)
+      : Node(sim, std::move(name)) {
+    set_forwarding(true);
+  }
+};
+
+}  // namespace mhrp::node

@@ -1,0 +1,328 @@
+#include "node/stream.hpp"
+
+#include <algorithm>
+
+#include "util/checksum.hpp"
+
+namespace mhrp::node {
+
+using net::IpAddress;
+using net::Packet;
+
+namespace {
+
+constexpr std::uint8_t kFlagSyn = 0x02;
+constexpr std::uint8_t kFlagAck = 0x10;
+constexpr std::uint8_t kFlagFin = 0x01;
+
+// Per-node port demux: Node offers a single handler slot per IP
+// protocol, so the first socket on a node installs a dispatcher and all
+// sockets register here. Sockets deregister on destruction.
+struct NodeDemux {
+  std::map<std::uint16_t, StreamSocket*> ports;
+};
+std::map<Node*, NodeDemux>& registry() {
+  static std::map<Node*, NodeDemux> instance;
+  return instance;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> StreamHeader::encode(
+    std::span<const std::uint8_t> data) const {
+  util::ByteWriter w(kSize + data.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  std::uint16_t offset_flags = (5u << 12);  // data offset 5 words
+  if (syn) offset_flags |= kFlagSyn;
+  if (ack_flag) offset_flags |= kFlagAck;
+  if (fin) offset_flags |= kFlagFin;
+  w.u16(offset_flags);
+  w.u16(window);
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  w.bytes(data);
+  w.patch_u16(16, util::internet_checksum(w.view()));
+  return w.take();
+}
+
+StreamHeader StreamHeader::decode(std::span<const std::uint8_t> wire,
+                                  std::vector<std::uint8_t>* data) {
+  if (wire.size() < kSize) throw util::CodecError("stream segment < 20B");
+  if (!util::checksum_ok(wire)) {
+    throw util::CodecError("stream checksum mismatch");
+  }
+  util::ByteReader r(wire);
+  StreamHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  std::uint16_t offset_flags = r.u16();
+  h.syn = (offset_flags & kFlagSyn) != 0;
+  h.ack_flag = (offset_flags & kFlagAck) != 0;
+  h.fin = (offset_flags & kFlagFin) != 0;
+  h.window = r.u16();
+  r.skip(4);  // checksum + urgent
+  if (data != nullptr) *data = r.bytes(r.remaining());
+  return h;
+}
+
+StreamSocket::StreamSocket(Host& host, std::uint16_t local_port)
+    : host_(host),
+      local_port_(local_port),
+      rto_(host.sim(), [this] { on_timeout(); }) {
+  NodeDemux& demux = registry()[&host_];
+  if (demux.ports.empty()) {
+    host_.set_protocol_handler(
+        net::IpProto::kTcp, [node = &host_](Packet& p, net::Interface& in) {
+          auto it = registry().find(node);
+          if (it == registry().end()) return;
+          std::vector<std::uint8_t> data;
+          StreamHeader h;
+          try {
+            h = StreamHeader::decode(p.payload(), &data);
+          } catch (const util::CodecError&) {
+            return;
+          }
+          auto port = it->second.ports.find(h.dst_port);
+          if (port == it->second.ports.end()) return;
+          port->second->handle_segment(h, std::move(data), p.header().src);
+          (void)in;
+        });
+  }
+  demux.ports[local_port_] = this;
+}
+
+StreamSocket::~StreamSocket() {
+  auto it = registry().find(&host_);
+  if (it != registry().end()) {
+    it->second.ports.erase(local_port_);
+    if (it->second.ports.empty()) registry().erase(it);
+  }
+}
+
+void StreamSocket::listen() { state_ = State::kListen; }
+
+void StreamSocket::connect(IpAddress peer, std::uint16_t peer_port) {
+  peer_ = peer;
+  peer_port_ = peer_port;
+  state_ = State::kSynSent;
+  send_control(/*syn=*/true, /*fin=*/false, /*ack=*/false);
+  rto_.arm(config_.retransmit_timeout);
+}
+
+std::size_t StreamSocket::send(std::span<const std::uint8_t> data) {
+  send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
+  if (state_ == State::kEstablished) pump();
+  return data.size();
+}
+
+void StreamSocket::close() {
+  fin_queued_ = true;
+  if (state_ == State::kEstablished) {
+    pump();
+  }
+}
+
+void StreamSocket::pump() {
+  bool sent_any = false;
+  while (in_flight_.size() < config_.window_segments) {
+    if (!send_buffer_.empty()) {
+      Segment segment;
+      segment.seq = next_seq_;
+      const std::size_t n =
+          std::min(config_.segment_size, send_buffer_.size());
+      segment.data.assign(send_buffer_.begin(),
+                          send_buffer_.begin() + std::ptrdiff_t(n));
+      send_buffer_.erase(send_buffer_.begin(),
+                         send_buffer_.begin() + std::ptrdiff_t(n));
+      next_seq_ += static_cast<std::uint32_t>(n);
+      transmit_segment(segment);
+      in_flight_.push_back(std::move(segment));
+      sent_any = true;
+      continue;
+    }
+    if (fin_queued_) {
+      Segment fin;
+      fin.seq = next_seq_;
+      fin.fin = true;
+      next_seq_ += 1;  // FIN occupies one sequence slot
+      transmit_segment(fin);
+      in_flight_.push_back(std::move(fin));
+      fin_queued_ = false;
+      state_ = State::kFinWait;
+      sent_any = true;
+    }
+    break;
+  }
+  if (sent_any && !rto_.armed()) rto_.arm(config_.retransmit_timeout);
+}
+
+void StreamSocket::transmit_segment(const Segment& segment) {
+  StreamHeader h;
+  h.src_port = local_port_;
+  h.dst_port = peer_port_;
+  h.seq = segment.seq;
+  h.ack = expected_seq_;
+  h.ack_flag = true;
+  h.fin = segment.fin;
+  h.window = static_cast<std::uint16_t>(config_.window_segments);
+
+  net::IpHeader ip;
+  ip.protocol = net::to_u8(net::IpProto::kTcp);
+  ip.dst = peer_;
+  Packet p(ip, h.encode(segment.data));
+  p.set_base_payload_size(p.payload().size());
+  host_.send_ip(std::move(p));
+}
+
+void StreamSocket::send_control(bool syn, bool fin, bool ack) {
+  StreamHeader h;
+  h.src_port = local_port_;
+  h.dst_port = peer_port_;
+  h.seq = syn ? 0 : next_seq_;
+  h.ack = expected_seq_;
+  h.syn = syn;
+  h.fin = fin;
+  h.ack_flag = ack;
+  h.window = static_cast<std::uint16_t>(config_.window_segments);
+
+  net::IpHeader ip;
+  ip.protocol = net::to_u8(net::IpProto::kTcp);
+  ip.dst = peer_;
+  Packet p(ip, h.encode({}));
+  p.set_base_payload_size(p.payload().size());
+  host_.send_ip(std::move(p));
+}
+
+void StreamSocket::handle_segment(const StreamHeader& header,
+                                  std::vector<std::uint8_t> data,
+                                  IpAddress src) {
+  switch (state_) {
+    case State::kClosed:
+      return;
+    case State::kListen: {
+      if (!header.syn) return;
+      peer_ = src;
+      peer_port_ = header.src_port;
+      expected_seq_ = 1;  // peer's SYN consumed seq 0
+      state_ = State::kEstablished;
+      send_control(/*syn=*/true, /*fin=*/false, /*ack=*/true);  // SYN-ACK
+      if (on_connected) on_connected();
+      return;
+    }
+    case State::kSynSent: {
+      if (!(header.syn && header.ack_flag)) return;
+      expected_seq_ = 1;
+      state_ = State::kEstablished;
+      rto_.cancel();
+      retries_ = 0;
+      if (on_connected) on_connected();
+      pump();
+      return;
+    }
+    case State::kEstablished:
+    case State::kFinWait:
+    case State::kClosedByPeer:
+      break;
+  }
+
+  // A retransmitted SYN means our SYN-ACK was lost: answer it again.
+  if (header.syn && !header.ack_flag) {
+    send_control(/*syn=*/true, /*fin=*/false, /*ack=*/true);
+    return;
+  }
+
+  // ---- Ack processing (sender side) ----
+  if (header.ack_flag) {
+    bool progress = false;
+    while (!in_flight_.empty()) {
+      const Segment& front = in_flight_.front();
+      const std::uint32_t end =
+          front.seq + (front.fin ? 1u
+                                 : static_cast<std::uint32_t>(front.data.size()));
+      if (header.ack < end) break;
+      bytes_acked_ += front.data.size();
+      if (front.fin) {
+        state_ = State::kClosed;
+        rto_.cancel();
+        if (on_closed) on_closed();
+      }
+      in_flight_.pop_front();
+      progress = true;
+    }
+    if (progress) {
+      retries_ = 0;
+      rto_.cancel();
+      if (!in_flight_.empty()) rto_.arm(config_.retransmit_timeout);
+      if (state_ == State::kEstablished || state_ == State::kFinWait) {
+        pump();
+      }
+    }
+  }
+
+  // ---- Data / FIN (receiver side) ----
+  const bool carries = !data.empty() || header.fin;
+  if (!carries) return;
+
+  if (header.seq == expected_seq_) {
+    if (!data.empty()) {
+      expected_seq_ += static_cast<std::uint32_t>(data.size());
+      bytes_received_ += data.size();
+      if (on_data) on_data(data);
+    }
+    if (header.fin) {
+      expected_seq_ += 1;
+      peer_fin_seen_ = true;
+      if (state_ == State::kEstablished) state_ = State::kClosedByPeer;
+      if (on_closed) on_closed();
+    }
+    deliver_in_order();
+  } else if (header.seq > expected_seq_ && !data.empty()) {
+    out_of_order_.emplace(header.seq, std::move(data));
+  }
+  // Duplicates fall through: the ack below repairs the sender's view.
+  send_control(/*syn=*/false, /*fin=*/false, /*ack=*/true);
+}
+
+void StreamSocket::deliver_in_order() {
+  auto it = out_of_order_.find(expected_seq_);
+  while (it != out_of_order_.end()) {
+    auto data = std::move(it->second);
+    out_of_order_.erase(it);
+    expected_seq_ += static_cast<std::uint32_t>(data.size());
+    bytes_received_ += data.size();
+    if (on_data) on_data(data);
+    it = out_of_order_.find(expected_seq_);
+  }
+}
+
+void StreamSocket::on_timeout() {
+  if (state_ == State::kSynSent) {
+    if (++retries_ > config_.max_retries) {
+      state_ = State::kClosed;
+      if (on_closed) on_closed();
+      return;
+    }
+    send_control(/*syn=*/true, /*fin=*/false, /*ack=*/false);
+    rto_.arm(config_.retransmit_timeout);
+    return;
+  }
+  if (in_flight_.empty()) return;
+  if (++retries_ > config_.max_retries) {
+    state_ = State::kClosed;
+    if (on_closed) on_closed();
+    return;
+  }
+  // Go-back-N: resend everything outstanding.
+  for (const Segment& segment : in_flight_) {
+    ++retransmissions_;
+    transmit_segment(segment);
+  }
+  rto_.arm(config_.retransmit_timeout);
+}
+
+}  // namespace mhrp::node

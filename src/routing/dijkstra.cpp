@@ -1,0 +1,66 @@
+#include "routing/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace mhrp::routing {
+
+ShortestPaths shortest_paths(const Graph& graph, int source) {
+  const std::size_t n = graph.size();
+  ShortestPaths sp;
+  sp.distance.assign(n, ShortestPaths::kUnreachable);
+  sp.predecessor.assign(n, -1);
+  sp.first_hop.assign(n, -1);
+
+  using Item = std::tuple<double, int>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  sp.distance[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > sp.distance[static_cast<std::size_t>(u)]) continue;
+    for (const Edge& e : graph[static_cast<std::size_t>(u)]) {
+      const double candidate = dist + e.cost;
+      auto& best = sp.distance[static_cast<std::size_t>(e.to)];
+      // Strict improvement, or equal-cost tie broken by lower predecessor
+      // id for determinism.
+      if (candidate < best ||
+          (candidate == best &&
+           u < sp.predecessor[static_cast<std::size_t>(e.to)])) {
+        best = candidate;
+        sp.predecessor[static_cast<std::size_t>(e.to)] = u;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+
+  // Derive first hops by walking predecessors back to the source.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<int>(v) == source || !sp.reachable(static_cast<int>(v))) {
+      continue;
+    }
+    int cursor = static_cast<int>(v);
+    while (sp.predecessor[static_cast<std::size_t>(cursor)] != source) {
+      cursor = sp.predecessor[static_cast<std::size_t>(cursor)];
+    }
+    sp.first_hop[v] = cursor;
+  }
+  return sp;
+}
+
+std::vector<int> path_to(const ShortestPaths& sp, int source, int target) {
+  if (!sp.reachable(target)) return {};
+  std::vector<int> path;
+  for (int v = target; v != -1; v = sp.predecessor[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != source) return {};
+  return path;
+}
+
+}  // namespace mhrp::routing

@@ -1,0 +1,78 @@
+#include "routing/routing_table.hpp"
+
+#include <sstream>
+
+namespace mhrp::routing {
+
+void RoutingTable::install(const Route& route) {
+  auto& slot = by_length_[static_cast<std::size_t>(route.prefix.length())];
+  auto [it, inserted] = slot.try_emplace(key_of(route.prefix), route);
+  if (!inserted) {
+    if (it->second.kind == RouteKind::kConnected &&
+        route.kind != RouteKind::kConnected) {
+      return;  // connected routes win
+    }
+    it->second = route;
+    return;
+  }
+  ++count_;
+}
+
+void RoutingTable::remove(const net::Prefix& prefix) {
+  auto& slot = by_length_[static_cast<std::size_t>(prefix.length())];
+  if (slot.erase(key_of(prefix)) > 0) --count_;
+}
+
+void RoutingTable::remove_kind(RouteKind kind) {
+  for (auto& slot : by_length_) {
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->second.kind == kind) {
+        it = slot.erase(it);
+        --count_;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+const Route* RoutingTable::lookup(net::IpAddress dst) const {
+  for (int length = 32; length >= 0; --length) {
+    const auto& slot = by_length_[static_cast<std::size_t>(length)];
+    if (slot.empty()) continue;
+    auto it = slot.find(net::Prefix(dst, length).address().raw());
+    if (it != slot.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+const Route* RoutingTable::find(const net::Prefix& prefix) const {
+  const auto& slot = by_length_[static_cast<std::size_t>(prefix.length())];
+  auto it = slot.find(key_of(prefix));
+  return it == slot.end() ? nullptr : &it->second;
+}
+
+std::vector<Route> RoutingTable::routes() const {
+  std::vector<Route> out;
+  out.reserve(count_);
+  for (const auto& slot : by_length_) {
+    for (const auto& [key, route] : slot) out.push_back(route);
+  }
+  return out;
+}
+
+std::string RoutingTable::to_string() const {
+  std::ostringstream os;
+  for (int length = 32; length >= 0; --length) {
+    for (const auto& [key, route] :
+         by_length_[static_cast<std::size_t>(length)]) {
+      os << route.prefix.to_string() << " via "
+         << (route.next_hop.is_unspecified() ? std::string("direct")
+                                             : route.next_hop.to_string())
+         << " metric " << route.metric << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mhrp::routing

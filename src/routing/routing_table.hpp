@@ -1,0 +1,79 @@
+// Longest-prefix-match IP routing table.
+//
+// Besides ordinary network routes, the table holds host-specific (/32)
+// routes — the mechanism §3 of the paper suggests for covering a whole
+// routing domain with one agent — and redirect-learned entries, which
+// share this table exactly as §4.3 describes cache agents sharing the
+// ICMP-redirect table ("with a different type field on the table entry").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip_address.hpp"
+
+namespace mhrp::net {
+class Interface;
+}
+
+namespace mhrp::routing {
+
+/// Provenance of a route; doubles as replacement priority (a connected
+/// route is never displaced by a dynamic one for the same prefix).
+enum class RouteKind : std::uint8_t {
+  kConnected,  // directly attached subnet
+  kStatic,     // installed by topology setup ("converged standard routing")
+  kDynamic,    // learned from the distance-vector protocol
+  kHostSpecific,  // /32 advertised for a mobile host (paper §3)
+  kRedirect,   // learned from ICMP redirect
+};
+
+struct Route {
+  net::Prefix prefix;
+  /// Next-hop router; unspecified means "directly connected, deliver on
+  /// `iface` by ARP-resolving the final destination".
+  net::IpAddress next_hop;
+  net::Interface* iface = nullptr;
+  int metric = 1;
+  RouteKind kind = RouteKind::kStatic;
+};
+
+class RoutingTable {
+ public:
+  /// Insert or replace the route for `route.prefix`. A connected route is
+  /// only replaced by another connected route.
+  void install(const Route& route);
+
+  void remove(const net::Prefix& prefix);
+
+  /// Drop every route of the given kind (used by DV refresh and by
+  /// host-specific route withdrawal).
+  void remove_kind(RouteKind kind);
+
+  /// Longest-prefix match. Returns nullptr when no route covers `dst`.
+  [[nodiscard]] const Route* lookup(net::IpAddress dst) const;
+
+  /// Exact-prefix fetch (tests, DV comparisons).
+  [[nodiscard]] const Route* find(const net::Prefix& prefix) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Every route, for diagnostics and DV advertisement.
+  [[nodiscard]] std::vector<Route> routes() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static std::uint32_t key_of(const net::Prefix& p) {
+    return p.address().raw();
+  }
+
+  // One exact-match map per prefix length; LPM scans lengths descending.
+  std::array<std::unordered_map<std::uint32_t, Route>, 33> by_length_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mhrp::routing

@@ -1,0 +1,108 @@
+#include "scenario/figure1.hpp"
+
+namespace mhrp::scenario {
+
+namespace {
+net::IpAddress ip(const char* text) { return net::IpAddress::parse(text); }
+}  // namespace
+
+Figure1::Figure1(Figure1Options options) {
+  backbone = &topo.add_link("backbone", sim::millis(2));
+  net_a = &topo.add_link("netA", sim::millis(1));
+  net_b = &topo.add_link("netB", sim::millis(1));
+  net_c = &topo.add_link("netC", sim::millis(1));
+  net_d = &topo.add_link("netD", sim::millis(1));
+  net_e = &topo.add_link("netE", sim::millis(1));
+
+  r1 = &topo.add_router("R1");
+  r2 = &topo.add_router("R2");
+  r3 = &topo.add_router("R3");
+  r4 = &topo.add_router("R4");
+  r5 = &topo.add_router("R5");
+  s = &topo.add_host("S");
+
+  topo.connect(*r1, *backbone, ip("10.0.0.1"), 24);
+  topo.connect(*r2, *backbone, ip("10.0.0.2"), 24);
+  topo.connect(*r3, *backbone, ip("10.0.0.3"), 24);
+
+  topo.connect(*r1, *net_a, ip("10.1.0.1"), 24);
+  topo.connect(*s, *net_a, ip("10.1.0.10"), 24);
+
+  net::Interface& r2_home = topo.connect(*r2, *net_b, ip("10.2.0.1"), 24);
+
+  topo.connect(*r3, *net_c, ip("10.3.0.1"), 24);
+  topo.connect(*r4, *net_c, ip("10.3.0.4"), 24);
+  topo.connect(*r5, *net_c, ip("10.3.0.5"), 24);
+
+  net::Interface& r4_cell = topo.connect(*r4, *net_d, ip("10.4.0.1"), 24);
+  net::Interface& r5_cell = topo.connect(*r5, *net_e, ip("10.5.0.1"), 24);
+
+  core::MobileHostConfig m_config;
+  // M registers with R2's address *on its home network* — that is the
+  // agent address R2 advertises on network B.
+  m_config.home_agent = ip("10.2.0.1");
+  m_config.update_min_interval = options.update_min_interval;
+  m = &topo.add_mobile_host("M", m_address(), 24, m_config);
+
+  for (const auto& node : topo.nodes()) {
+    node->set_icmp_quote_limit(options.icmp_quote_limit);
+  }
+
+  topo.install_static_routes();
+
+  core::AgentConfig ha_config;
+  ha_config.home_agent = true;
+  ha_config.cache_agent = true;
+  ha_config.advertisement_period = options.advertisement_period;
+  ha_config.max_list_length = options.max_list_length;
+  ha_config.forwarding_pointers = options.forwarding_pointers;
+  ha_config.update_min_interval = options.update_min_interval;
+  ha = std::make_unique<core::MhrpAgent>(*r2, ha_config);
+  ha->serve_on(r2_home);
+  ha->provision_mobile_host(m_address());
+  ha->start_advertising();
+
+  core::AgentConfig fa_config;
+  fa_config.foreign_agent = true;
+  fa_config.cache_agent = true;
+  fa_config.advertisement_period = options.advertisement_period;
+  fa_config.max_list_length = options.max_list_length;
+  fa_config.forwarding_pointers = options.forwarding_pointers;
+  fa_config.update_min_interval = options.update_min_interval;
+  fa_config.verify_recovery_with_arp = options.fa_verify_recovery_with_arp;
+  fa_config.reregister_broadcast_on_reboot =
+      options.fa_reregister_broadcast_on_reboot;
+  fa_r4 = std::make_unique<core::MhrpAgent>(*r4, fa_config);
+  fa_r4->serve_on(r4_cell);
+  fa_r4->start_advertising();
+  fa_r5 = std::make_unique<core::MhrpAgent>(*r5, fa_config);
+  fa_r5->serve_on(r5_cell);
+  fa_r5->start_advertising();
+
+  if (options.r1_is_cache_agent) {
+    core::AgentConfig ca_config;
+    ca_config.cache_agent = true;
+    ca_config.update_min_interval = options.update_min_interval;
+    agent_r1 = std::make_unique<core::MhrpAgent>(*r1, ca_config);
+  }
+  if (options.s_is_cache_agent) {
+    core::AgentConfig ca_config;
+    ca_config.cache_agent = true;
+    ca_config.update_min_interval = options.update_min_interval;
+    agent_s = std::make_unique<core::MhrpAgent>(*s, ca_config);
+  }
+}
+
+bool Figure1::move_and_register(net::Link& cell, sim::Time limit) {
+  bool registered = false;
+  m->on_registered = [&registered] { registered = true; };
+  m->attach_to(cell);
+  const sim::Time deadline = topo.sim().now() + limit;
+  while (!registered && topo.sim().now() < deadline) {
+    topo.sim().run_for(sim::millis(100));
+  }
+  m->on_registered = nullptr;
+  return registered;
+}
+
+}  // namespace mhrp::scenario

@@ -1,0 +1,93 @@
+// Delivery metrics: attach a FlowRecorder to a receiving node and it
+// tallies, per flow, how many packets arrived, their end-to-end latency,
+// how many hops they took, and — the number every E1-style experiment
+// reports — the per-packet mobility overhead in bytes, computed from the
+// largest wire size the packet had on any link
+// (max_wire_size - 20 - base_payload_size).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "node/node.hpp"
+
+namespace mhrp::scenario {
+
+struct Distribution {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add(double v) {
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+struct FlowStats {
+  std::uint64_t received = 0;
+  Distribution latency_s;
+  Distribution hops;
+  Distribution overhead_bytes;
+};
+
+class FlowRecorder {
+ public:
+  /// Start recording deliveries at `receiver`. Only one FlowRecorder may
+  /// own a node's on_deliver_hook at a time.
+  explicit FlowRecorder(node::Node& receiver) {
+    receiver.on_deliver_hook = [this, &receiver](const net::Packet& p) {
+      record(receiver, p);
+    };
+  }
+
+  [[nodiscard]] const FlowStats& flow(std::uint64_t flow_id) const {
+    static const FlowStats kEmpty;
+    auto it = flows_.find(flow_id);
+    return it == flows_.end() ? kEmpty : it->second;
+  }
+
+  [[nodiscard]] const FlowStats& total() const { return total_; }
+
+  /// Restrict recording to packets matching `predicate` (the default
+  /// skips multicast/broadcast chatter such as agent advertisements).
+  void set_filter(std::function<bool(const net::Packet&)> predicate) {
+    filter_ = std::move(predicate);
+  }
+
+ private:
+  void record(node::Node& receiver, const net::Packet& p) {
+    if (filter_) {
+      if (!filter_(p)) return;
+    } else if (p.header().dst.is_multicast() ||
+               p.header().dst.is_broadcast()) {
+      return;
+    }
+    FlowStats* stats[] = {&total_, &flows_[p.flow_id()]};
+    const double latency =
+        sim::to_seconds(receiver.sim().now() - p.created_at());
+    const double overhead =
+        p.max_wire_size() > 20 + p.base_payload_size()
+            ? static_cast<double>(p.max_wire_size() - 20 -
+                                  p.base_payload_size())
+            : 0.0;
+    for (FlowStats* s : stats) {
+      ++s->received;
+      s->latency_s.add(latency);
+      s->hops.add(p.hop_count());
+      s->overhead_bytes.add(overhead);
+    }
+  }
+
+  std::map<std::uint64_t, FlowStats> flows_;
+  FlowStats total_;
+  std::function<bool(const net::Packet&)> filter_;
+};
+
+}  // namespace mhrp::scenario

@@ -1,0 +1,69 @@
+// A parameterized internetwork with MHRP fully installed: one home site
+// (home agent router), F foreign sites (foreign agent routers with
+// wireless cells), one correspondent site, M mobile hosts, and C
+// correspondent hosts (each a cache agent). Property tests sweep its
+// parameters; bench_scalability, bench_handoff, and bench_cache_convergence
+// are built on it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "scenario/topology.hpp"
+
+namespace mhrp::scenario {
+
+struct MhrpWorldOptions {
+  int foreign_sites = 3;
+  int mobile_hosts = 1;
+  int correspondents = 1;
+  sim::Time advertisement_period = sim::seconds(1);
+  sim::Time update_min_interval = sim::millis(100);
+  std::size_t max_list_length = 8;
+  bool forwarding_pointers = true;
+  bool correspondents_are_cache_agents = true;
+  /// §3: a mobile host "may wait to hear the next periodic advertisement
+  /// message, or may optionally multicast an agent solicitation".
+  bool solicit_on_attach = true;
+  std::size_t icmp_quote_limit = 28;
+  std::uint64_t seed = 1;
+};
+
+class MhrpWorld {
+ public:
+  explicit MhrpWorld(MhrpWorldOptions options = MhrpWorldOptions());
+
+  Topology topo;
+  MhrpWorldOptions options;
+
+  node::Router* home_router = nullptr;  // also the home agent
+  net::Link* home_lan = nullptr;
+  std::vector<node::Router*> fa_routers;
+  std::vector<net::Link*> cells;  // wireless cell of each foreign site
+  std::vector<core::MobileHost*> mobiles;
+  std::vector<node::Host*> correspondents;
+
+  std::unique_ptr<core::MhrpAgent> ha;
+  std::vector<std::unique_ptr<core::MhrpAgent>> fas;
+  std::vector<std::unique_ptr<core::MhrpAgent>> corr_agents;
+
+  [[nodiscard]] net::IpAddress mobile_address(int i) const {
+    return net::IpAddress::of(10, 1, 0, static_cast<std::uint8_t>(100 + i));
+  }
+  [[nodiscard]] net::IpAddress fa_address(int site) const {
+    return net::IpAddress::of(10, static_cast<std::uint8_t>(2 + site), 0, 1);
+  }
+
+  /// Attach mobile `i` to foreign cell `site` (or home when site < 0)
+  /// and run until its registration completes. Returns success.
+  bool move_and_register(int i, int site, sim::Time limit = sim::seconds(30));
+
+  /// Total location-update messages sent by every agent in the world.
+  [[nodiscard]] std::uint64_t total_updates_sent() const;
+  /// Total agent control state (HA database rows + FA visiting entries +
+  /// cache entries), for the scalability experiment.
+  [[nodiscard]] std::size_t total_agent_state() const;
+};
+
+}  // namespace mhrp::scenario

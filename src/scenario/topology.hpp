@@ -1,0 +1,91 @@
+// Topology: owns a simulated internetwork — the simulator, every node,
+// every link — and installs routing state that models a *converged*
+// standard IP routing system (shortest paths over the link graph), which
+// is what the paper assumes underneath MHRP ("the standard IP routing
+// algorithms will deliver the packet to M's home network", §1).
+//
+// Hosts do not get full tables: like real end systems they get a default
+// route via a router on their LAN (mobile hosts re-point it as they
+// move). Routers get complete shortest-path tables.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mobile_host.hpp"
+#include "node/host.hpp"
+#include "node/router.hpp"
+#include "routing/dijkstra.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mhrp::scenario {
+
+class Topology {
+ public:
+  explicit Topology(std::uint64_t seed = 1) : rng_(seed) {}
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  // ---- Construction ----
+
+  node::Router& add_router(const std::string& name);
+  node::Host& add_host(const std::string& name);
+  core::MobileHost& add_mobile_host(const std::string& name,
+                                    net::IpAddress home_ip,
+                                    int home_prefix_length,
+                                    core::MobileHostConfig config);
+  /// Adopt an externally constructed node (ownership transfers).
+  node::Node& adopt(std::unique_ptr<node::Node> node);
+
+  net::Link& add_link(const std::string& name,
+                      sim::Time latency = sim::millis(1),
+                      std::uint64_t bandwidth_bps = 0);
+
+  /// Create an interface on `node`, addressed `ip/prefix`, attached to
+  /// `link`.
+  net::Interface& connect(node::Node& node, net::Link& link,
+                          net::IpAddress ip, int prefix_length,
+                          const std::string& if_name = "");
+
+  // ---- Routing ----
+
+  /// Compute shortest paths over the current link graph and install
+  /// static routes: full tables on forwarding nodes, a default route via
+  /// a LAN router on non-forwarding nodes. Mobile hosts are skipped
+  /// entirely (their default route follows their registration).
+  void install_static_routes();
+
+  // ---- Lookup ----
+
+  [[nodiscard]] node::Node* find(const std::string& name);
+  [[nodiscard]] net::Link* find_link(const std::string& name);
+  [[nodiscard]] const std::vector<std::unique_ptr<node::Node>>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<net::Link>>& links() const {
+    return links_;
+  }
+
+  /// Shortest-path hop distance (link count) between two nodes in the
+  /// current graph; -1 when disconnected. Benchmarks use this to report
+  /// path stretch against the optimum.
+  [[nodiscard]] int hop_distance(const node::Node& a, const node::Node& b);
+
+ private:
+  [[nodiscard]] routing::Graph build_graph() const;
+  [[nodiscard]] int index_of(const node::Node& node) const;
+
+  sim::Simulator sim_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<node::Node>> nodes_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::map<std::string, node::Node*> by_name_;
+  std::map<std::string, net::Link*> link_by_name_;
+  std::vector<bool> is_mobile_;  // parallel to nodes_
+};
+
+}  // namespace mhrp::scenario

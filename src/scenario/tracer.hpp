@@ -1,0 +1,38 @@
+// Human-readable protocol tracing: attach to a Topology and every
+// delivery and forwarding event prints one line — time, node, protocol,
+// addresses, and (for MHRP packets) the tunnel header's mobile host and
+// previous-source list. The examples enable it with MHRP_TRACE=1.
+//
+// The tracer chains onto the nodes' metric hooks, so it coexists with a
+// FlowRecorder attached before or after it.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+
+#include "scenario/topology.hpp"
+
+namespace mhrp::scenario {
+
+class Tracer {
+ public:
+  /// Attach to every node currently in the topology, writing to `out`
+  /// (defaults to std::clog). Call after the topology is built.
+  explicit Tracer(Topology& topo, std::ostream* out = nullptr);
+
+  /// True when the MHRP_TRACE environment variable asks for tracing.
+  static bool enabled_by_env();
+
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+
+ private:
+  void attach(node::Node& node);
+  void print(const char* verb, const node::Node& node,
+             const net::Packet& packet);
+
+  Topology& topo_;
+  std::ostream* out_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace mhrp::scenario

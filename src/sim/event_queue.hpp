@@ -1,0 +1,107 @@
+// Cancellable discrete-event queue with deterministic ordering.
+//
+// Events that share a timestamp fire in the order they were scheduled
+// (FIFO by sequence number), which makes every simulation run exactly
+// reproducible — a property the integration and property tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mhrp::sim {
+
+/// Opaque handle identifying a scheduled event so it can be cancelled.
+/// Default-constructed handles refer to no event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True when the handle refers to an event that has neither fired nor
+  /// been cancelled.
+  [[nodiscard]] bool pending() const {
+    auto s = state_.lock();
+    return s && !*s;
+  }
+
+  [[nodiscard]] bool valid() const { return !state_.expired(); }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::weak_ptr<bool> state_;  // *state == true means cancelled
+};
+
+/// Min-heap of (time, sequence) ordered events. Cancellation is O(1):
+/// the entry is flagged and skipped at pop time.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when`. Times may not decrease
+  /// relative to already-popped events; the Simulator enforces that.
+  EventHandle schedule(Time when, Action action) {
+    auto cancelled = std::make_shared<bool>(false);
+    heap_.push(Entry{when, next_seq_++, std::move(action), cancelled});
+    ++live_;
+    return EventHandle(std::move(cancelled));
+  }
+
+  /// Cancel a pending event. Returns true when the event was pending and
+  /// is now cancelled; false when it already fired or was cancelled.
+  bool cancel(const EventHandle& handle) {
+    auto s = handle.state_.lock();
+    if (!s || *s) return false;
+    *s = true;
+    --live_;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the next live event. Requires !empty().
+  [[nodiscard]] Time next_time() {
+    drop_cancelled();
+    return heap_.top().when;
+  }
+
+  /// Remove and return the next live event. Requires !empty().
+  std::pair<Time, Action> pop() {
+    drop_cancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    *top.cancelled = true;  // mark fired so handles report non-pending
+    return {top.when, std::move(top.action)};
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> cancelled;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mhrp::sim

@@ -1,0 +1,84 @@
+// The simulation executive: owns the clock and the event queue, and runs
+// events in timestamp order until the queue drains, a deadline passes, or
+// stop() is called from inside an event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace mhrp::sim {
+
+class Simulator {
+ public:
+  using Action = EventQueue::Action;
+
+  /// Current simulated time. Monotone non-decreasing across the run.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `action` at absolute simulated time `when`; times in the
+  /// past are clamped to `now()` (the event still fires, immediately
+  /// after already-queued events at `now()`).
+  EventHandle at(Time when, Action action) {
+    if (when < now_) when = now_;
+    return queue_.schedule(when, std::move(action));
+  }
+
+  /// Schedule `action` after a relative delay (>= 0) from now.
+  EventHandle after(Time delay, Action action) {
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+  }
+
+  bool cancel(const EventHandle& handle) { return queue_.cancel(handle); }
+
+  /// Run until the queue is empty or stop() is called. Returns the number
+  /// of events executed.
+  std::size_t run() { return run_until(std::numeric_limits<Time>::max()); }
+
+  /// Run events with timestamp <= deadline. The clock is advanced to
+  /// `deadline` when the queue drains early (so subsequent `after()`
+  /// calls are relative to the deadline). Returns events executed.
+  std::size_t run_until(Time deadline) {
+    stopped_ = false;
+    std::size_t executed = 0;
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+      auto [when, action] = queue_.pop();
+      now_ = when;
+      action();
+      ++executed;
+    }
+    if (!stopped_ && deadline != std::numeric_limits<Time>::max() &&
+        now_ < deadline) {
+      now_ = deadline;
+    }
+    return executed;
+  }
+
+  /// Run for a relative duration from the current clock.
+  std::size_t run_for(Time duration) { return run_until(now_ + duration); }
+
+  /// Execute exactly one event, if any. Returns whether one ran.
+  bool step() {
+    if (queue_.empty()) return false;
+    auto [when, action] = queue_.pop();
+    now_ = when;
+    action();
+    return true;
+  }
+
+  /// Request that the current run() / run_until() return after the
+  /// currently executing event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = kTimeZero;
+  bool stopped_ = false;
+};
+
+}  // namespace mhrp::sim

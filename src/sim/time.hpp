@@ -1,0 +1,34 @@
+// Simulation time. All timestamps and durations are integer microseconds,
+// which keeps event ordering exact (no floating-point tie ambiguity) and
+// comfortably spans multi-day simulated runs in 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mhrp::sim {
+
+/// A point in simulated time (microseconds since simulation start) or a
+/// duration in microseconds, depending on context.
+using Time = std::int64_t;
+
+constexpr Time kTimeZero = 0;
+
+constexpr Time micros(std::int64_t n) { return n; }
+constexpr Time millis(std::int64_t n) { return n * 1000; }
+constexpr Time seconds(std::int64_t n) { return n * 1'000'000; }
+
+/// Duration from a floating-point second count (workload generators draw
+/// exponential inter-arrivals in seconds); rounds to the nearest microsecond.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Human-readable rendering, e.g. "1.250000s".
+inline std::string format_time(Time t) {
+  return std::to_string(to_seconds(t)) + "s";
+}
+
+}  // namespace mhrp::sim

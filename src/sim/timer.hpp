@@ -1,0 +1,99 @@
+// RAII timers layered on the Simulator. A PeriodicTimer drives recurring
+// protocol behavior (agent advertisements, distance-vector updates); a
+// OneShotTimer drives timeouts (registration retransmission, movement
+// detection). Both cancel themselves on destruction, so a node that is
+// torn down never leaves dangling callbacks in the event queue.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace mhrp::sim {
+
+/// Fires `action` every `period` until stopped or destroyed. The first
+/// firing happens after an initial delay (default: one period).
+class PeriodicTimer {
+ public:
+  using Action = std::function<void()>;
+
+  PeriodicTimer(Simulator& sim, Time period, Action action)
+      : sim_(sim), period_(period), action_(std::move(action)) {}
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  ~PeriodicTimer() { stop(); }
+
+  void start() { start_after(period_); }
+
+  void start_after(Time initial_delay) {
+    stop();
+    running_ = true;
+    handle_ = sim_.after(initial_delay, [this] { fire(); });
+  }
+
+  void stop() {
+    if (running_) {
+      sim_.cancel(handle_);
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] Time period() const { return period_; }
+  void set_period(Time period) { period_ = period; }
+
+ private:
+  void fire() {
+    // Re-arm before running the action so the action may call stop().
+    handle_ = sim_.after(period_, [this] { fire(); });
+    action_();
+  }
+
+  Simulator& sim_;
+  Time period_;
+  Action action_;
+  EventHandle handle_;
+  bool running_ = false;
+};
+
+/// Fires `action` once after `delay`; can be re-armed or cancelled.
+class OneShotTimer {
+ public:
+  using Action = std::function<void()>;
+
+  OneShotTimer(Simulator& sim, Action action)
+      : sim_(sim), action_(std::move(action)) {}
+
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+  ~OneShotTimer() { cancel(); }
+
+  /// (Re)schedule the timer `delay` from now, replacing any pending firing.
+  void arm(Time delay) {
+    cancel();
+    armed_ = true;
+    handle_ = sim_.after(delay, [this] {
+      armed_ = false;
+      action_();
+    });
+  }
+
+  void cancel() {
+    if (armed_) {
+      sim_.cancel(handle_);
+      armed_ = false;
+    }
+  }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  Simulator& sim_;
+  Action action_;
+  EventHandle handle_;
+  bool armed_ = false;
+};
+
+}  // namespace mhrp::sim

@@ -1,0 +1,23 @@
+// RFC 1071 Internet checksum, used by the simulated IP, ICMP, UDP, and
+// MHRP headers exactly as the real protocols use it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mhrp::util {
+
+/// One's-complement sum of 16-bit words over `data` (odd trailing byte is
+/// padded with zero), folded to 16 bits. Returns the raw folded sum; use
+/// `internet_checksum` for the complemented header field value.
+[[nodiscard]] std::uint16_t ones_complement_sum(std::span<const std::uint8_t> data);
+
+/// The value to place in a header checksum field: the one's complement of
+/// the one's-complement sum computed with the checksum field set to zero.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// True when `data` (including its embedded checksum field) verifies,
+/// i.e. the one's-complement sum over the whole region is 0xFFFF.
+[[nodiscard]] bool checksum_ok(std::span<const std::uint8_t> data);
+
+}  // namespace mhrp::util

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Examples turn tracing on to narrate protocol
+// events; tests and benchmarks leave it off (the default) for speed.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mhrp::util {
+
+enum class LogLevel { kTrace = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Messages below this level are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: `LOG(kInfo) << "x=" << x;`
+/// Implemented as a temporary that flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+inline LogLine log_trace() { return LogLine(LogLevel::kTrace); }
+inline LogLine log_info() { return LogLine(LogLevel::kInfo); }
+inline LogLine log_warn() { return LogLine(LogLevel::kWarn); }
+inline LogLine log_error() { return LogLine(LogLevel::kError); }
+
+}  // namespace mhrp::util

@@ -1,0 +1,49 @@
+// Deterministic random number generation. Every source of randomness in
+// the simulator (workload inter-arrival times, movement schedules, link
+// loss) flows through an Rng seeded by the scenario, so any run is exactly
+// reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mhrp::util {
+
+/// Thin seedable wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d687270 /* "mhrp" */) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool chance(double p) { return real() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mhrp::util

@@ -1,0 +1,365 @@
+// Agent-level unit tests: behaviors of MhrpAgent not already pinned by
+// the Figure-1 integration suite — advertisement content, solicitation
+// replies, registration sequencing, the detached sentinel, rate limiting
+// at the agent boundary, role gating, and crash semantics.
+#include <gtest/gtest.h>
+
+#include "core/agent.hpp"
+#include "core/registration.hpp"
+#include "net/udp.hpp"
+#include "scenario/topology.hpp"
+
+namespace mhrp {
+namespace {
+
+using core::AgentConfig;
+using core::MhrpAgent;
+using core::RegKind;
+using core::RegMessage;
+using scenario::Topology;
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s); }
+
+// One LAN with an agent router and a listening host.
+struct AgentLan {
+  Topology topo;
+  node::Router* router;
+  node::Host* listener;
+  net::Interface* lan_iface;
+  std::unique_ptr<MhrpAgent> agent;
+
+  explicit AgentLan(AgentConfig config) {
+    auto& lan = topo.add_link("lan", sim::millis(1));
+    router = &topo.add_router("R");
+    listener = &topo.add_host("L");
+    lan_iface = &topo.connect(*router, lan, ip("10.1.0.1"), 24);
+    topo.connect(*listener, lan, ip("10.1.0.50"), 24);
+    listener->join_multicast(net::kAllAgentsGroup);
+    topo.install_static_routes();
+    agent = std::make_unique<MhrpAgent>(*router, config);
+    agent->serve_on(*lan_iface);
+  }
+};
+
+TEST(Agent, AdvertisementCarriesRoleFlagsAndAgentAddress) {
+  AgentConfig config;
+  config.home_agent = true;
+  config.foreign_agent = true;
+  AgentLan w(config);
+
+  std::vector<net::IcmpAgentAdvertisement> heard;
+  w.listener->add_icmp_handler([&](const net::IcmpMessage& m,
+                                   const net::IpHeader&, net::Interface&) {
+    if (const auto* adv = std::get_if<net::IcmpAgentAdvertisement>(&m)) {
+      heard.push_back(*adv);
+      return true;
+    }
+    return false;
+  });
+  w.agent->start_advertising();
+  w.topo.sim().run_for(sim::seconds(12));
+  ASSERT_GE(heard.size(), 2u);
+  EXPECT_EQ(heard[0].agent, ip("10.1.0.1"));
+  EXPECT_TRUE(heard[0].offers_home_agent);
+  EXPECT_TRUE(heard[0].offers_foreign_agent);
+  // Sequence numbers advance.
+  EXPECT_GT(heard[1].sequence, heard[0].sequence);
+}
+
+TEST(Agent, SolicitationDrawsImmediateAdvertisement) {
+  AgentConfig config;
+  config.foreign_agent = true;
+  config.advertisement_period = sim::seconds(3600);  // periodic silenced
+  AgentLan w(config);
+
+  int advertisements = 0;
+  w.listener->add_icmp_handler([&](const net::IcmpMessage& m,
+                                   const net::IpHeader&, net::Interface&) {
+    if (std::holds_alternative<net::IcmpAgentAdvertisement>(m)) {
+      ++advertisements;
+      return true;
+    }
+    return false;
+  });
+  w.listener->send_icmp_on(*w.listener->interfaces().front().get(),
+                           net::kAllAgentsGroup,
+                           net::IcmpAgentSolicitation{});
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(advertisements, 1);
+}
+
+TEST(Agent, ConnectRegistersVisitorAndAcks) {
+  AgentConfig config;
+  config.foreign_agent = true;
+  AgentLan w(config);
+  const net::IpAddress mh = ip("10.9.0.77");
+
+  RegMessage connect{RegKind::kConnect, mh, net::kUnspecified, 5};
+  auto bytes = connect.encode();
+  // Impersonate the mobile host from the listener (its ack goes there).
+  std::vector<RegMessage> acks;
+  w.listener->bind_udp(core::kRegistrationPort,
+                       [&](const net::UdpDatagram& d, const net::IpHeader&,
+                           net::Interface&) {
+                         acks.push_back(RegMessage::decode(d.data));
+                       });
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = w.listener->primary_address();
+  h.dst = ip("10.1.0.1");
+  w.listener->send_ip_on(
+      *w.listener->interfaces().front().get(),
+      net::Packet(h, net::encode_udp({core::kRegistrationPort,
+                                      core::kRegistrationPort},
+                                     bytes)),
+      ip("10.1.0.1"));
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_TRUE(w.agent->is_visiting(mh));
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].kind, RegKind::kConnectAck);
+  EXPECT_EQ(acks[0].sequence, 5u);
+}
+
+TEST(Agent, StaleSequencesAreIgnored) {
+  AgentConfig config;
+  config.foreign_agent = true;
+  AgentLan w(config);
+  const net::IpAddress mh = ip("10.9.0.77");
+
+  auto send_reg = [&](RegKind kind, std::uint32_t seq, net::IpAddress fa) {
+    RegMessage m{kind, mh, fa, seq};
+    auto bytes = m.encode();
+    net::IpHeader h;
+    h.protocol = net::to_u8(net::IpProto::kUdp);
+    h.src = w.listener->primary_address();
+    h.dst = ip("10.1.0.1");
+    w.listener->send_ip_on(
+        *w.listener->interfaces().front().get(),
+        net::Packet(h, net::encode_udp({core::kRegistrationPort,
+                                        core::kRegistrationPort},
+                                       bytes)),
+        ip("10.1.0.1"));
+    w.topo.sim().run_for(sim::seconds(1));
+  };
+
+  send_reg(RegKind::kConnect, 10, net::kUnspecified);
+  ASSERT_TRUE(w.agent->is_visiting(mh));
+  // A stale (reordered) disconnect from an earlier move must not erase
+  // the newer registration.
+  send_reg(RegKind::kDisconnect, 4, ip("10.8.0.1"));
+  EXPECT_TRUE(w.agent->is_visiting(mh));
+  // A current one does.
+  send_reg(RegKind::kDisconnect, 11, ip("10.8.0.1"));
+  EXPECT_FALSE(w.agent->is_visiting(mh));
+  // …and leaves a forwarding pointer.
+  ASSERT_TRUE(w.agent->cache().peek(mh).has_value());
+  EXPECT_EQ(*w.agent->cache().peek(mh), ip("10.8.0.1"));
+}
+
+TEST(Agent, DisconnectNamingThisAgentIsRejected) {
+  AgentConfig config;
+  config.foreign_agent = true;
+  AgentLan w(config);
+  const net::IpAddress mh = ip("10.9.0.77");
+  RegMessage connect{RegKind::kConnect, mh, net::kUnspecified, 1};
+  auto bytes = connect.encode();
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = w.listener->primary_address();
+  h.dst = ip("10.1.0.1");
+  w.listener->send_ip_on(
+      *w.listener->interfaces().front().get(),
+      net::Packet(h, net::encode_udp({core::kRegistrationPort,
+                                      core::kRegistrationPort},
+                                     bytes)),
+      ip("10.1.0.1"));
+  w.topo.sim().run_for(sim::seconds(1));
+  ASSERT_TRUE(w.agent->is_visiting(mh));
+
+  // A (bounced/stale) disconnect claiming the new FA is this very agent.
+  RegMessage bogus{RegKind::kDisconnect, mh, ip("10.1.0.1"), 2};
+  auto bogus_bytes = bogus.encode();
+  net::IpHeader h2 = h;
+  w.listener->send_ip_on(
+      *w.listener->interfaces().front().get(),
+      net::Packet(h2, net::encode_udp({core::kRegistrationPort,
+                                       core::kRegistrationPort},
+                                      bogus_bytes)),
+      ip("10.1.0.1"));
+  w.topo.sim().run_for(sim::seconds(1));
+  EXPECT_TRUE(w.agent->is_visiting(mh));
+}
+
+TEST(Agent, HomeRegisterOutsideServedPrefixIgnored) {
+  AgentConfig config;
+  config.home_agent = true;
+  AgentLan w(config);
+  // 172.16/12 is not a served network here.
+  RegMessage reg{RegKind::kHomeRegister, ip("172.16.0.9"), ip("10.8.0.1"), 1};
+  auto bytes = reg.encode();
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = w.listener->primary_address();
+  h.dst = ip("10.1.0.1");
+  w.listener->send_ip_on(
+      *w.listener->interfaces().front().get(),
+      net::Packet(h, net::encode_udp({core::kRegistrationPort,
+                                      core::kRegistrationPort},
+                                     bytes)),
+      ip("10.1.0.1"));
+  w.topo.sim().run_for(sim::seconds(1));
+  EXPECT_FALSE(w.agent->home_binding(ip("172.16.0.9")).has_value());
+  EXPECT_EQ(w.agent->home_database_size(), 0u);
+}
+
+TEST(Agent, HomeRegisterAutoProvisionsOwnPrefixHosts) {
+  AgentConfig config;
+  config.home_agent = true;
+  AgentLan w(config);
+  RegMessage reg{RegKind::kHomeRegister, ip("10.1.0.77"), ip("10.8.0.1"), 1};
+  auto bytes = reg.encode();
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = w.listener->primary_address();
+  h.dst = ip("10.1.0.1");
+  w.listener->send_ip_on(
+      *w.listener->interfaces().front().get(),
+      net::Packet(h, net::encode_udp({core::kRegistrationPort,
+                                      core::kRegistrationPort},
+                                     bytes)),
+      ip("10.1.0.1"));
+  w.topo.sim().run_for(sim::seconds(1));
+  auto binding = w.agent->home_binding(ip("10.1.0.77"));
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(*binding, ip("10.8.0.1"));
+  // Proxy ARP active for the away host.
+  EXPECT_TRUE(w.router->has_proxy_arp(
+      *w.router->interface_named("eth0"), ip("10.1.0.77")));
+}
+
+TEST(Agent, CrashPreservesHomeDatabaseAndClearsCache) {
+  AgentConfig config;
+  config.home_agent = true;
+  config.foreign_agent = true;
+  AgentLan w(config);
+  w.agent->provision_mobile_host(ip("10.1.0.77"));
+  w.agent->cache().update(ip("10.9.0.5"), ip("10.8.0.1"));
+  ASSERT_EQ(w.agent->cache().size(), 1u);
+
+  w.agent->crash_and_reboot();
+  // "The database … should also be recorded on disk to survive any
+  // crashes" (§2): rows persist; the volatile cache does not.
+  EXPECT_EQ(w.agent->home_database_size(), 1u);
+  EXPECT_EQ(w.agent->cache().size(), 0u);
+  EXPECT_EQ(w.agent->visiting_count(), 0u);
+}
+
+TEST(Agent, LocationUpdateRateLimiterSuppressesBursts) {
+  AgentConfig config;
+  config.update_min_interval = sim::seconds(1);
+  AgentLan w(config);
+  int updates = 0;
+  w.listener->add_icmp_handler([&](const net::IcmpMessage& m,
+                                   const net::IpHeader&, net::Interface&) {
+    if (std::holds_alternative<net::IcmpLocationUpdate>(m)) ++updates;
+    return false;
+  });
+  for (int i = 0; i < 10; ++i) {
+    w.agent->send_location_update(ip("10.1.0.50"), ip("10.9.0.77"),
+                                  ip("10.8.0.1"));
+  }
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(updates, 1);  // nine suppressed
+  EXPECT_EQ(w.agent->rate_limiter().suppressed(), 9u);
+}
+
+TEST(Agent, NonCacheAgentIgnoresLocationUpdates) {
+  AgentConfig config;
+  config.cache_agent = false;
+  AgentLan w(config);
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kIcmp);
+  h.src = w.listener->primary_address();
+  h.dst = ip("10.1.0.1");
+  w.listener->send_ip_on(
+      *w.listener->interfaces().front().get(),
+      net::Packet(h, net::encode_icmp(net::IcmpLocationUpdate{
+                         ip("10.9.0.77"), ip("10.8.0.1"), false})),
+      ip("10.1.0.1"));
+  w.topo.sim().run_for(sim::seconds(1));
+  EXPECT_EQ(w.agent->cache().size(), 0u);
+  EXPECT_EQ(w.agent->stats().updates_received, 1u);
+}
+
+TEST(Agent, ExamineForwardedPacketsToggleDisablesRouterCaching) {
+  // §4.3: "Routers should thus support a configuration option to enable
+  // or disable the capability to become a cache agent, avoiding the
+  // overhead of examining each packet forwarded."
+  Topology topo;
+  auto& lan1 = topo.add_link("lan1", sim::millis(1));
+  auto& lan2 = topo.add_link("lan2", sim::millis(1));
+  auto& r = topo.add_router("R");
+  auto& a = topo.add_host("A");
+  auto& b = topo.add_host("B");
+  topo.connect(r, lan1, ip("10.1.0.1"), 24);
+  topo.connect(r, lan2, ip("10.2.0.1"), 24);
+  topo.connect(a, lan1, ip("10.1.0.10"), 24);
+  topo.connect(b, lan2, ip("10.2.0.10"), 24);
+  topo.install_static_routes();
+
+  AgentConfig config;
+  config.examine_forwarded_packets = false;
+  MhrpAgent agent(r, config);
+
+  // A location update forwarded through R must NOT be cached.
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kIcmp);
+  h.dst = ip("10.2.0.10");
+  a.send_ip(net::Packet(h, net::encode_icmp(net::IcmpLocationUpdate{
+                               ip("10.9.0.77"), ip("10.8.0.1"), false})));
+  topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(agent.cache().size(), 0u);
+  EXPECT_EQ(agent.stats().packets_examined, 0u);
+}
+
+TEST(Agent, DetachedSentinelProducesHostUnreachable) {
+  Topology topo;
+  auto& lan1 = topo.add_link("lan1", sim::millis(1));
+  auto& lan2 = topo.add_link("lan2", sim::millis(1));
+  auto& r = topo.add_router("R");
+  auto& a = topo.add_host("A");
+  topo.connect(r, lan1, ip("10.1.0.1"), 24);
+  net::Interface& home_iface = *r.interfaces().front();
+  topo.connect(r, lan2, ip("10.2.0.1"), 24);
+  topo.connect(a, lan2, ip("10.2.0.10"), 24);
+  topo.install_static_routes();
+
+  AgentConfig config;
+  config.home_agent = true;
+  MhrpAgent ha(r, config);
+  ha.serve_on(home_iface);
+  ha.provision_mobile_host(ip("10.1.0.77"));
+
+  // Register the detached sentinel, as a graceful disconnect does.
+  RegMessage reg{RegKind::kHomeRegister, ip("10.1.0.77"),
+                 MhrpAgent::kDetachedSentinel, 1};
+  auto bytes = reg.encode();
+  a.send_udp(ip("10.1.0.1"), core::kRegistrationPort, core::kRegistrationPort,
+             bytes);
+  topo.sim().run_for(sim::seconds(1));
+
+  bool unreachable = false;
+  a.add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                         net::Interface&) {
+    unreachable = unreachable || std::holds_alternative<net::IcmpUnreachable>(m);
+    return false;
+  });
+  std::vector<std::uint8_t> data{1};
+  a.send_udp(ip("10.1.0.77"), 1, 2, data);
+  topo.sim().run_for(sim::seconds(2));
+  EXPECT_TRUE(unreachable);
+  EXPECT_GE(ha.stats().dropped_disconnected, 1u);
+}
+
+}  // namespace
+}  // namespace mhrp

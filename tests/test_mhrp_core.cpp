@@ -1,0 +1,281 @@
+// Unit tests for the paper's core mechanics in isolation: the MHRP
+// header codec (Fig. 3), the §4.1 encapsulation transform, the §4.4
+// re-tunnel transform with list overflow, the §5.3 loop check, the
+// location cache, and the §4.3 update rate limiter.
+#include <gtest/gtest.h>
+
+#include "core/encapsulation.hpp"
+#include "core/location_cache.hpp"
+#include "core/mhrp_header.hpp"
+#include "core/rate_limiter.hpp"
+#include "net/udp.hpp"
+
+namespace mhrp::core {
+namespace {
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s); }
+
+net::Packet make_udp_packet(net::IpAddress src, net::IpAddress dst) {
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.src = src;
+  h.dst = dst;
+  std::vector<std::uint8_t> data{1, 2, 3, 4};
+  net::Packet p(h, net::encode_udp({111, 222}, data));
+  p.set_base_payload_size(p.payload().size());
+  return p;
+}
+
+// ---- Header codec (Figure 3) ----
+
+TEST(MhrpHeader, SenderBuiltIsEightOctets) {
+  MhrpHeader h;
+  h.orig_protocol = 17;
+  h.mobile_host = ip("10.2.0.77");
+  EXPECT_EQ(h.encoded_size(), 8u);
+}
+
+TEST(MhrpHeader, EachListEntryAddsFourOctets) {
+  MhrpHeader h;
+  h.previous_sources = {ip("1.1.1.1")};
+  EXPECT_EQ(h.encoded_size(), 12u);
+  h.previous_sources.push_back(ip("2.2.2.2"));
+  EXPECT_EQ(h.encoded_size(), 16u);
+}
+
+TEST(MhrpHeader, RoundTripsWithChecksum) {
+  MhrpHeader h;
+  h.orig_protocol = 6;
+  h.mobile_host = ip("10.2.0.77");
+  h.previous_sources = {ip("10.1.0.10"), ip("10.4.0.1")};
+  util::ByteWriter w;
+  h.encode(w);
+  auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 16u);
+
+  util::ByteReader r(bytes);
+  EXPECT_EQ(MhrpHeader::decode(r), h);
+}
+
+TEST(MhrpHeader, DecodeRejectsCorruption) {
+  MhrpHeader h;
+  h.mobile_host = ip("10.2.0.77");
+  util::ByteWriter w;
+  h.encode(w);
+  auto bytes = w.take();
+  bytes[5] ^= 0x40;
+  util::ByteReader r(bytes);
+  EXPECT_THROW(MhrpHeader::decode(r), util::CodecError);
+}
+
+TEST(MhrpHeader, DecodeRejectsTruncatedList) {
+  MhrpHeader h;
+  h.mobile_host = ip("10.2.0.77");
+  h.previous_sources = {ip("1.1.1.1")};
+  util::ByteWriter w;
+  h.encode(w);
+  auto bytes = w.take();
+  bytes.resize(10);  // cut into the list
+  util::ByteReader r(bytes);
+  EXPECT_THROW(MhrpHeader::decode(r), util::CodecError);
+}
+
+// ---- §4.1 encapsulation ----
+
+TEST(Encapsulation, SenderBuiltLeavesSourceAndListAlone) {
+  auto p = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  const std::size_t before = p.wire_size();
+  encapsulate(p, ip("10.4.0.1"), /*builder=*/ip("10.1.0.10"));
+
+  EXPECT_TRUE(is_mhrp(p));
+  EXPECT_EQ(p.header().src, ip("10.1.0.10"));
+  EXPECT_EQ(p.header().dst, ip("10.4.0.1"));
+  auto h = read_mhrp_header(p);
+  EXPECT_EQ(h.orig_protocol, net::to_u8(net::IpProto::kUdp));
+  EXPECT_EQ(h.mobile_host, ip("10.2.0.77"));
+  EXPECT_TRUE(h.previous_sources.empty());
+  // "normally adds only 8 bytes" (§7).
+  EXPECT_EQ(p.wire_size(), before + 8);
+}
+
+TEST(Encapsulation, AgentBuiltRecordsOriginalSender) {
+  auto p = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  const std::size_t before = p.wire_size();
+  encapsulate(p, ip("10.4.0.1"), /*builder=*/ip("10.2.0.1"));  // home agent
+
+  EXPECT_EQ(p.header().src, ip("10.2.0.1"));
+  auto h = read_mhrp_header(p);
+  ASSERT_EQ(h.previous_sources.size(), 1u);
+  EXPECT_EQ(h.previous_sources[0], ip("10.1.0.10"));
+  // "(or 12 bytes)" (§7).
+  EXPECT_EQ(p.wire_size(), before + 12);
+}
+
+TEST(Encapsulation, DecapsulationReconstructsOriginalExactly) {
+  auto original = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  const auto original_header = original.header();
+  const auto original_payload = original.payload();
+
+  auto p = original;
+  encapsulate(p, ip("10.4.0.1"), ip("10.2.0.1"));
+  MhrpHeader removed = decapsulate(p);
+  EXPECT_EQ(p.header(), original_header);
+  EXPECT_EQ(p.payload(), original_payload);
+  EXPECT_EQ(removed.mobile_host, ip("10.2.0.77"));
+}
+
+TEST(Encapsulation, SenderBuiltDecapsulationKeepsSenderSource) {
+  auto p = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  encapsulate(p, ip("10.4.0.1"), ip("10.1.0.10"));
+  decapsulate(p);
+  EXPECT_EQ(p.header().src, ip("10.1.0.10"));
+  EXPECT_EQ(p.header().dst, ip("10.2.0.77"));
+}
+
+// ---- §4.4 re-tunneling ----
+
+TEST(Retunnel, AppendsSourceAndRewritesAddresses) {
+  auto p = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  encapsulate(p, ip("10.4.0.1"), ip("10.2.0.1"));  // HA built: list=[S]
+  const std::size_t before = p.wire_size();
+
+  // Old FA 10.4.0.1 re-tunnels to the new FA 10.5.0.1.
+  auto r = retunnel(p, ip("10.4.0.1"), ip("10.5.0.1"), 8);
+  EXPECT_FALSE(r.loop_detected);
+  EXPECT_FALSE(r.list_overflowed);
+  EXPECT_EQ(p.header().src, ip("10.4.0.1"));
+  EXPECT_EQ(p.header().dst, ip("10.5.0.1"));
+  auto h = read_mhrp_header(p);
+  ASSERT_EQ(h.previous_sources.size(), 2u);
+  EXPECT_EQ(h.previous_sources[0], ip("10.1.0.10"));
+  EXPECT_EQ(h.previous_sources[1], ip("10.2.0.1"));
+  // "The size of the MHRP header in the packet thus is increased by 4
+  // bytes" (§4.4).
+  EXPECT_EQ(p.wire_size(), before + 4);
+}
+
+TEST(Retunnel, OverflowFlushesTruncatesAndRestarts) {
+  auto p = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  encapsulate(p, ip("10.0.0.1"), ip("9.9.9.1"));  // list=[S]
+  auto r1 = retunnel(p, ip("10.0.0.1"), ip("10.0.0.2"), 2);
+  ASSERT_FALSE(r1.list_overflowed);  // list=[S, 9.9.9.1]
+
+  auto r2 = retunnel(p, ip("10.0.0.2"), ip("10.0.0.3"), 2);
+  EXPECT_TRUE(r2.list_overflowed);
+  ASSERT_EQ(r2.flushed.size(), 2u);
+  EXPECT_EQ(r2.flushed[0], ip("10.1.0.10"));
+  EXPECT_EQ(r2.flushed[1], ip("9.9.9.1"));
+  auto h = read_mhrp_header(p);
+  // "The new address is added to the list as the single entry" (§4.4).
+  ASSERT_EQ(h.previous_sources.size(), 1u);
+  EXPECT_EQ(h.previous_sources[0], ip("10.0.0.1"));
+}
+
+TEST(Retunnel, ZeroMaxMeansUnbounded) {
+  auto p = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  encapsulate(p, ip("10.0.0.1"), ip("9.9.9.1"));
+  for (int i = 0; i < 20; ++i) {
+    auto r = retunnel(p, net::IpAddress::of(10, 0, 1, std::uint8_t(i)),
+                      net::IpAddress::of(10, 0, 1, std::uint8_t(i + 1)), 0);
+    ASSERT_FALSE(r.list_overflowed);
+  }
+  EXPECT_EQ(read_mhrp_header(p).previous_sources.size(), 21u);
+}
+
+TEST(Retunnel, DetectsOwnAddressInList) {
+  auto p = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  encapsulate(p, ip("10.0.0.1"), ip("9.9.9.1"));
+  (void)retunnel(p, ip("10.0.0.1"), ip("10.0.0.2"), 8);
+  (void)retunnel(p, ip("10.0.0.2"), ip("10.0.0.1"), 8);
+  // Back at 10.0.0.1, whose address is in the list: one full pass done.
+  auto r = retunnel(p, ip("10.0.0.1"), ip("10.0.0.2"), 8);
+  EXPECT_TRUE(r.loop_detected);
+  // The packet must be untouched on detection.
+  EXPECT_EQ(p.header().src, ip("10.0.0.2"));
+  // Stale members: everyone in the list plus the incoming tunnel head.
+  EXPECT_GE(r.stale_members.size(), 3u);
+}
+
+TEST(Retunnel, TransportBytesSurviveManyHops) {
+  auto p = make_udp_packet(ip("10.1.0.10"), ip("10.2.0.77"));
+  const auto transport = p.payload();
+  encapsulate(p, ip("10.0.0.1"), ip("9.9.9.1"));
+  for (int i = 1; i <= 5; ++i) {
+    (void)retunnel(p, net::IpAddress::of(10, 0, 0, std::uint8_t(i)),
+                   net::IpAddress::of(10, 0, 0, std::uint8_t(i + 1)), 3);
+  }
+  decapsulate(p);
+  EXPECT_EQ(p.payload(), transport);
+}
+
+// ---- Location cache ----
+
+TEST(LocationCache, UpdateLookupInvalidate) {
+  LocationCache cache(4);
+  cache.update(ip("10.2.0.77"), ip("10.4.0.1"));
+  EXPECT_EQ(cache.lookup(ip("10.2.0.77")).value(), ip("10.4.0.1"));
+  cache.update(ip("10.2.0.77"), ip("10.5.0.1"));
+  EXPECT_EQ(cache.lookup(ip("10.2.0.77")).value(), ip("10.5.0.1"));
+  cache.invalidate(ip("10.2.0.77"));
+  EXPECT_FALSE(cache.lookup(ip("10.2.0.77")).has_value());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LocationCache, ZeroForeignAgentDeletes) {
+  // §6.3: an update naming agent 0 means "at home, drop your entry".
+  LocationCache cache(4);
+  cache.update(ip("10.2.0.77"), ip("10.4.0.1"));
+  cache.update(ip("10.2.0.77"), net::kUnspecified);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LocationCache, LruEvictionPrefersStaleEntries) {
+  LocationCache cache(2);
+  cache.update(ip("10.2.0.1"), ip("10.4.0.1"));
+  cache.update(ip("10.2.0.2"), ip("10.4.0.1"));
+  (void)cache.lookup(ip("10.2.0.1"));  // touch 1 → 2 is now LRU
+  cache.update(ip("10.2.0.3"), ip("10.4.0.1"));
+  EXPECT_TRUE(cache.peek(ip("10.2.0.1")).has_value());
+  EXPECT_FALSE(cache.peek(ip("10.2.0.2")).has_value());
+  EXPECT_TRUE(cache.peek(ip("10.2.0.3")).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LocationCache, PeekDoesNotPromote) {
+  LocationCache cache(2);
+  cache.update(ip("10.2.0.1"), ip("10.4.0.1"));
+  cache.update(ip("10.2.0.2"), ip("10.4.0.1"));
+  (void)cache.peek(ip("10.2.0.1"));  // no promotion
+  cache.update(ip("10.2.0.3"), ip("10.4.0.1"));
+  EXPECT_FALSE(cache.peek(ip("10.2.0.1")).has_value());
+}
+
+// ---- §4.3 rate limiter ----
+
+TEST(RateLimiter, SuppressesWithinInterval) {
+  UpdateRateLimiter limiter(sim::seconds(1));
+  EXPECT_TRUE(limiter.allow(ip("10.1.0.10"), 0));
+  EXPECT_FALSE(limiter.allow(ip("10.1.0.10"), sim::millis(500)));
+  EXPECT_TRUE(limiter.allow(ip("10.1.0.10"), sim::seconds(2)));
+  EXPECT_EQ(limiter.suppressed(), 1u);
+}
+
+TEST(RateLimiter, PerDestinationIndependence) {
+  UpdateRateLimiter limiter(sim::seconds(1));
+  EXPECT_TRUE(limiter.allow(ip("10.1.0.10"), 0));
+  EXPECT_TRUE(limiter.allow(ip("10.1.0.11"), 0));
+}
+
+TEST(RateLimiter, LruBoundedCapacity) {
+  UpdateRateLimiter limiter(sim::seconds(1), 2);
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.1"), 0));
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.2"), 1));
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.3"), 2));  // evicts 10.0.0.1
+  EXPECT_EQ(limiter.size(), 2u);
+  // 10.0.0.1 was evicted, so it is allowed again immediately.
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.1"), 3));
+}
+
+}  // namespace
+}  // namespace mhrp::core

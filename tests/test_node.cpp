@@ -1,0 +1,258 @@
+// Substrate integration: the plain IP stack (no mobility) — ARP
+// resolution, routed forwarding, TTL, ICMP errors, UDP demux, redirects.
+#include <gtest/gtest.h>
+
+#include "scenario/topology.hpp"
+
+namespace mhrp {
+namespace {
+
+using scenario::Topology;
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s); }
+
+// Two LANs joined by one router.
+struct TwoLans {
+  Topology topo;
+  node::Host* a;
+  node::Host* b;
+  node::Router* r;
+
+  TwoLans() {
+    auto& lan1 = topo.add_link("lan1", sim::millis(1));
+    auto& lan2 = topo.add_link("lan2", sim::millis(1));
+    r = &topo.add_router("R");
+    a = &topo.add_host("A");
+    b = &topo.add_host("B");
+    topo.connect(*r, lan1, ip("10.1.0.1"), 24);
+    topo.connect(*r, lan2, ip("10.2.0.1"), 24);
+    topo.connect(*a, lan1, ip("10.1.0.10"), 24);
+    topo.connect(*b, lan2, ip("10.2.0.10"), 24);
+    topo.install_static_routes();
+  }
+};
+
+TEST(NodeStack, PingAcrossRouter) {
+  TwoLans w;
+  bool replied = false;
+  sim::Time rtt = 0;
+  w.a->ping(ip("10.2.0.10"), [&](const node::Host::PingResult& r) {
+    replied = r.replied;
+    rtt = r.rtt;
+  });
+  w.topo.sim().run_for(sim::seconds(10));
+  EXPECT_TRUE(replied);
+  // 2 links each way at 1ms, plus ARP resolution on the first exchange.
+  EXPECT_GT(rtt, sim::millis(3));
+  EXPECT_LT(rtt, sim::seconds(3));
+}
+
+TEST(NodeStack, SecondPingIsFasterThanFirst) {
+  // ARP caches warm after the first exchange.
+  TwoLans w;
+  sim::Time first = 0;
+  sim::Time second = 0;
+  w.a->ping(ip("10.2.0.10"), [&](const node::Host::PingResult& r) {
+    first = r.rtt;
+    w.a->ping(ip("10.2.0.10"),
+              [&](const node::Host::PingResult& r2) { second = r2.rtt; });
+  });
+  w.topo.sim().run_for(sim::seconds(20));
+  ASSERT_GT(first, 0);
+  ASSERT_GT(second, 0);
+  EXPECT_LT(second, first);
+  EXPECT_EQ(second, sim::millis(4));  // 2 hops × 1ms each way, warm caches
+}
+
+TEST(NodeStack, UdpEchoAcrossRouter) {
+  TwoLans w;
+  w.b->start_udp_echo(7);
+  std::vector<std::uint8_t> got;
+  w.a->bind_udp(40001, [&](const net::UdpDatagram& d, const net::IpHeader&,
+                           net::Interface&) { got = d.data; });
+  std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  w.a->send_udp(ip("10.2.0.10"), 40001, 7, payload);
+  w.topo.sim().run_for(sim::seconds(5));
+  EXPECT_EQ(got, payload);
+}
+
+TEST(NodeStack, UdpToClosedPortReturnsPortUnreachable) {
+  TwoLans w;
+  bool unreachable = false;
+  w.a->add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                            net::Interface&) {
+    const auto* u = std::get_if<net::IcmpUnreachable>(&m);
+    if (u != nullptr && u->code == net::UnreachCode::kPortUnreachable) {
+      unreachable = true;
+    }
+    return false;
+  });
+  std::vector<std::uint8_t> payload{9};
+  w.a->send_udp(ip("10.2.0.10"), 40001, 9999, payload);
+  w.topo.sim().run_for(sim::seconds(5));
+  EXPECT_TRUE(unreachable);
+}
+
+TEST(NodeStack, TtlExpiryGeneratesTimeExceeded) {
+  TwoLans w;
+  bool exceeded = false;
+  w.a->add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                            net::Interface&) {
+    exceeded = exceeded || std::holds_alternative<net::IcmpTimeExceeded>(m);
+    return false;
+  });
+  net::IpHeader h;
+  h.protocol = net::to_u8(net::IpProto::kUdp);
+  h.dst = ip("10.2.0.10");
+  h.ttl = 1;  // dies at the router
+  std::vector<std::uint8_t> data{1};
+  net::Packet p(h, net::encode_udp({1, 2}, data));
+  w.a->send_ip(std::move(p));
+  w.topo.sim().run_for(sim::seconds(5));
+  EXPECT_TRUE(exceeded);
+  EXPECT_EQ(w.r->counters().dropped_ttl, 1u);
+}
+
+TEST(NodeStack, NoRouteGeneratesNetUnreachable) {
+  TwoLans w;
+  bool unreachable = false;
+  w.a->add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                            net::Interface&) {
+    const auto* u = std::get_if<net::IcmpUnreachable>(&m);
+    unreachable = unreachable || u != nullptr;
+    return false;
+  });
+  std::vector<std::uint8_t> data{1};
+  w.a->send_udp(ip("192.168.50.50"), 1, 2, data);  // no such network
+  w.topo.sim().run_for(sim::seconds(5));
+  EXPECT_TRUE(unreachable);
+}
+
+TEST(NodeStack, ArpFailureDropsAndReportsHostUnreachable) {
+  TwoLans w;
+  bool unreachable = false;
+  w.a->add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                            net::Interface&) {
+    const auto* u = std::get_if<net::IcmpUnreachable>(&m);
+    if (u != nullptr && u->code == net::UnreachCode::kHostUnreachable) {
+      unreachable = true;
+    }
+    return false;
+  });
+  std::vector<std::uint8_t> data{1};
+  w.a->send_udp(ip("10.2.0.99"), 1, 2, data);  // on lan2, but nobody there
+  w.topo.sim().run_for(sim::seconds(10));
+  EXPECT_TRUE(unreachable);
+  EXPECT_GE(w.r->counters().dropped_arp_timeout, 1u);
+}
+
+TEST(NodeStack, ProxyArpInterceptsLanTraffic) {
+  // A answers for a silent address; frames for it reach A's node.
+  Topology topo;
+  auto& lan = topo.add_link("lan", sim::millis(1));
+  auto& a = topo.add_host("A");
+  auto& b = topo.add_host("B");
+  net::Interface& ai = topo.connect(a, lan, ip("10.1.0.10"), 24);
+  topo.connect(b, lan, ip("10.1.0.11"), 24);
+  topo.install_static_routes();
+
+  a.add_proxy_arp(ai, ip("10.1.0.50"));
+  int intercepted = 0;
+  a.add_interceptor([&](net::Packet& p, net::Interface&) {
+    if (p.header().dst == ip("10.1.0.50")) {
+      ++intercepted;
+      return node::Intercept::kConsumed;
+    }
+    return node::Intercept::kContinue;
+  });
+  std::vector<std::uint8_t> data{1};
+  b.send_udp(ip("10.1.0.50"), 1, 2, data);
+  topo.sim().run_for(sim::seconds(5));
+  EXPECT_EQ(intercepted, 1);
+}
+
+TEST(NodeStack, GratuitousArpRewritesNeighborCaches) {
+  Topology topo;
+  auto& lan = topo.add_link("lan", sim::millis(1));
+  auto& a = topo.add_host("A");
+  auto& b = topo.add_host("B");
+  net::Interface& ai = topo.connect(a, lan, ip("10.1.0.10"), 24);
+  net::Interface& bi = topo.connect(b, lan, ip("10.1.0.11"), 24);
+  topo.install_static_routes();
+
+  const net::MacAddress fake(0x020000aabbcc);
+  a.send_gratuitous_arp(ai, ip("10.1.0.99"), fake);
+  topo.sim().run_for(sim::seconds(2));
+  auto learned = b.arp_table(bi).lookup(ip("10.1.0.99"));
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_EQ(*learned, fake);
+}
+
+TEST(NodeStack, BroadcastUdpReachesAllLanMembers) {
+  Topology topo;
+  auto& lan = topo.add_link("lan", sim::millis(1));
+  auto& a = topo.add_host("A");
+  auto& b = topo.add_host("B");
+  auto& c = topo.add_host("C");
+  net::Interface& ai = topo.connect(a, lan, ip("10.1.0.10"), 24);
+  topo.connect(b, lan, ip("10.1.0.11"), 24);
+  topo.connect(c, lan, ip("10.1.0.12"), 24);
+  int deliveries = 0;
+  auto count = [&](const net::UdpDatagram&, const net::IpHeader&,
+                   net::Interface&) { ++deliveries; };
+  b.bind_udp(99, count);
+  c.bind_udp(99, count);
+  std::vector<std::uint8_t> data{7};
+  a.send_udp_broadcast(ai, 99, 99, data);
+  topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(deliveries, 2);
+}
+
+TEST(NodeStack, RedirectTeachesHostAHostRoute) {
+  // Host A's default router R1 forwards back out the same LAN toward R2:
+  // A should receive a redirect and install a host route via R2.
+  Topology topo;
+  auto& lan = topo.add_link("lan", sim::millis(1));
+  auto& far_lan = topo.add_link("far", sim::millis(1));
+  auto& r1 = topo.add_router("R1");
+  auto& r2 = topo.add_router("R2");
+  auto& a = topo.add_host("A");
+  auto& d = topo.add_host("D");
+  topo.connect(r1, lan, ip("10.1.0.1"), 24);
+  topo.connect(r2, lan, ip("10.1.0.2"), 24);
+  topo.connect(a, lan, ip("10.1.0.10"), 24);
+  topo.connect(r2, far_lan, ip("10.9.0.1"), 24);
+  topo.connect(d, far_lan, ip("10.9.0.10"), 24);
+  topo.install_static_routes();
+  // Force A's default via R1 so the detour exists.
+  a.routing_table().install({net::Prefix(net::kUnspecified, 0),
+                             ip("10.1.0.1"), a.interfaces().front().get(), 1,
+                             routing::RouteKind::kStatic});
+  r1.set_send_redirects(true);
+
+  net::IpAddress redirected_via;
+  a.add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                         net::Interface& in) {
+    if (const auto* r = std::get_if<net::IcmpRedirect>(&m)) {
+      redirected_via = r->gateway;
+      // Install the host route exactly as a host honoring redirects would.
+      a.routing_table().install({net::Prefix::host(ip("10.9.0.10")),
+                                 r->gateway, &in, 1,
+                                 routing::RouteKind::kRedirect});
+      return true;
+    }
+    return false;
+  });
+  bool replied = false;
+  a.ping(ip("10.9.0.10"),
+         [&](const node::Host::PingResult& r) { replied = r.replied; });
+  topo.sim().run_for(sim::seconds(10));
+  EXPECT_TRUE(replied);
+  EXPECT_EQ(redirected_via, ip("10.1.0.2"));
+  const auto* route = a.routing_table().find(net::Prefix::host(ip("10.9.0.10")));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->kind, routing::RouteKind::kRedirect);
+}
+
+}  // namespace
+}  // namespace mhrp

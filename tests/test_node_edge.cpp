@@ -1,0 +1,200 @@
+// Node-stack edge behaviors: hook ordering, ICMP error suppression rules
+// (RFC 1122), quote-length policy, alias ARP answering, and multicast
+// membership — details the MHRP machinery leans on implicitly.
+#include <gtest/gtest.h>
+
+#include "net/udp.hpp"
+#include "scenario/topology.hpp"
+
+namespace mhrp {
+namespace {
+
+using scenario::Topology;
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s); }
+
+struct Lan {
+  Topology topo;
+  node::Host* a;
+  node::Host* b;
+
+  Lan() {
+    auto& lan = topo.add_link("lan", sim::millis(1));
+    a = &topo.add_host("A");
+    b = &topo.add_host("B");
+    topo.connect(*a, lan, ip("10.1.0.10"), 24);
+    topo.connect(*b, lan, ip("10.1.0.11"), 24);
+    topo.install_static_routes();
+  }
+};
+
+TEST(NodeEdge, EgressHooksRunInRegistrationOrder) {
+  Lan w;
+  std::vector<int> order;
+  w.a->add_egress_hook([&](net::Packet&) { order.push_back(1); });
+  w.a->add_egress_hook([&](net::Packet&) { order.push_back(2); });
+  std::vector<std::uint8_t> data{1};
+  w.a->send_udp(ip("10.1.0.11"), 1, 2, data);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(NodeEdge, EgressHookMayRewriteDestination) {
+  Lan w;
+  w.a->add_egress_hook([&](net::Packet& p) {
+    if (p.header().dst == ip("10.99.0.1")) p.header().dst = ip("10.1.0.11");
+  });
+  int got = 0;
+  w.b->bind_udp(7, [&](const net::UdpDatagram&, const net::IpHeader&,
+                       net::Interface&) { ++got; });
+  std::vector<std::uint8_t> data{1};
+  w.a->send_udp(ip("10.99.0.1"), 7, 7, data);
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NodeEdge, NoIcmpErrorAboutIcmpErrors) {
+  // An unreachable quoting a packet must not itself draw an error when
+  // it dies — send one to a UDP port that would normally bounce.
+  Lan w;
+  int errors_at_a = 0;
+  w.a->add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                            net::Interface&) {
+    if (std::holds_alternative<net::IcmpUnreachable>(m)) ++errors_at_a;
+    return false;
+  });
+  // A sends an unreachable to B (protocol ICMP, error type): B must not
+  // answer with anything.
+  w.a->send_icmp(ip("10.1.0.11"),
+                 net::IcmpUnreachable{net::UnreachCode::kHostUnreachable,
+                                      std::vector<std::uint8_t>(28, 0)});
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(errors_at_a, 0);
+  EXPECT_EQ(w.b->counters().icmp_errors_sent, 0u);
+}
+
+TEST(NodeEdge, NoErrorsForBroadcastOrMulticastPackets) {
+  Lan w;
+  // Broadcast UDP to a closed port: silence, not a storm of
+  // port-unreachables.
+  std::vector<std::uint8_t> data{1};
+  w.a->send_udp_broadcast(*w.a->interfaces().front(), 1, 9999, data);
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(w.b->counters().icmp_errors_sent, 0u);
+}
+
+TEST(NodeEdge, QuoteLimitTruncatesReturnedPackets) {
+  Lan w;
+  w.b->set_icmp_quote_limit(28);
+  std::size_t quoted_size = 0;
+  w.a->add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                            net::Interface&) {
+    if (const auto* u = std::get_if<net::IcmpUnreachable>(&m)) {
+      quoted_size = u->quoted.size();
+      return true;
+    }
+    return false;
+  });
+  std::vector<std::uint8_t> big(400, 0x7E);
+  w.a->send_udp(ip("10.1.0.11"), 1, 9999, big);  // port unreachable
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(quoted_size, 28u);
+
+  w.b->set_icmp_quote_limit(0);  // full packet
+  w.a->send_udp(ip("10.1.0.11"), 1, 9999, big);
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(quoted_size, 20u + 8u + 400u);
+}
+
+TEST(NodeEdge, AliasAddressesAnswerArpAndReceive) {
+  Lan w;
+  w.b->add_address_alias(ip("10.1.0.200"));
+  int got = 0;
+  w.b->bind_udp(7, [&](const net::UdpDatagram&, const net::IpHeader&,
+                       net::Interface&) { ++got; });
+  std::vector<std::uint8_t> data{1};
+  w.a->send_udp(ip("10.1.0.200"), 7, 7, data);
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(got, 1);
+
+  w.b->remove_address_alias(ip("10.1.0.200"));
+  w.a->arp_table(*w.a->interfaces().front()).clear();
+  w.a->send_udp(ip("10.1.0.200"), 7, 7, data);
+  w.topo.sim().run_for(sim::seconds(5));
+  EXPECT_EQ(got, 1);  // gone: nobody answers for it anymore
+}
+
+TEST(NodeEdge, MulticastOnlyDeliveredToMembers) {
+  Lan w;
+  w.b->join_multicast(net::kAllAgentsGroup);
+  int at_a = 0;
+  int at_b = 0;
+  auto count_at = [](int& counter) {
+    return [&counter](const net::IcmpMessage& m, const net::IpHeader&,
+                      net::Interface&) {
+      if (std::holds_alternative<net::IcmpAgentSolicitation>(m)) ++counter;
+      return true;
+    };
+  };
+  w.a->add_icmp_handler(count_at(at_a));
+  w.b->add_icmp_handler(count_at(at_b));
+  auto& c = w.topo.add_host("C");
+  w.topo.connect(c, *w.topo.find_link("lan"), ip("10.1.0.12"), 24);
+  c.send_icmp_on(*c.interfaces().front(), net::kAllAgentsGroup,
+                 net::IcmpAgentSolicitation{});
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(at_b, 1);
+  EXPECT_EQ(at_a, 0);  // not a member
+}
+
+TEST(NodeEdge, LocalInterceptorRunsBeforeDemuxAndMayConsume) {
+  Lan w;
+  int demuxed = 0;
+  int intercepted = 0;
+  w.b->bind_udp(7, [&](const net::UdpDatagram&, const net::IpHeader&,
+                       net::Interface&) { ++demuxed; });
+  w.b->add_local_interceptor([&](net::Packet& p, net::Interface&) {
+    if (p.header().protocol == net::to_u8(net::IpProto::kUdp)) {
+      ++intercepted;
+      return node::Intercept::kConsumed;
+    }
+    return node::Intercept::kContinue;
+  });
+  std::vector<std::uint8_t> data{1};
+  w.a->send_udp(ip("10.1.0.11"), 7, 7, data);
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(intercepted, 1);
+  EXPECT_EQ(demuxed, 0);
+}
+
+TEST(NodeEdge, LoopbackDeliveryToOwnAddress) {
+  Lan w;
+  int got = 0;
+  w.a->bind_udp(7, [&](const net::UdpDatagram&, const net::IpHeader&,
+                       net::Interface&) { ++got; });
+  std::vector<std::uint8_t> data{1};
+  w.a->send_udp(ip("10.1.0.10"), 7, 7, data);
+  w.topo.sim().run_for(sim::seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NodeEdge, UnknownProtocolDrawsProtocolUnreachable) {
+  Lan w;
+  bool proto_unreachable = false;
+  w.a->add_icmp_handler([&](const net::IcmpMessage& m, const net::IpHeader&,
+                            net::Interface&) {
+    const auto* u = std::get_if<net::IcmpUnreachable>(&m);
+    if (u != nullptr && u->code == net::UnreachCode::kProtocolUnreachable) {
+      proto_unreachable = true;
+    }
+    return false;
+  });
+  net::IpHeader h;
+  h.protocol = 200;  // nobody handles this
+  h.dst = ip("10.1.0.11");
+  w.a->send_ip(net::Packet(h, {1, 2, 3}));
+  w.topo.sim().run_for(sim::seconds(2));
+  EXPECT_TRUE(proto_unreachable);
+}
+
+}  // namespace
+}  // namespace mhrp

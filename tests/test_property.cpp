@@ -1,0 +1,287 @@
+// Property-style tests: parameterized sweeps asserting the protocol's
+// invariants across world shapes, movement sequences, and configuration
+// points rather than single scripted scenarios.
+//
+//  * reachability: wherever a mobile host registers, a correspondent's
+//    ping reaches it — including under randomized movement;
+//  * overhead law: every tunneled packet carries exactly 8 + 4k octets
+//    of MHRP overhead, k = previous-source list length, bounded by the
+//    configured maximum;
+//  * cache convergence: after a move, a bounded number of packets
+//    repairs every cache agent on the path;
+//  * home transparency: at home, zero overhead, always.
+#include <gtest/gtest.h>
+
+#include "scenario/metrics.hpp"
+#include "scenario/mhrp_world.hpp"
+
+namespace mhrp {
+namespace {
+
+using scenario::MhrpWorld;
+using scenario::MhrpWorldOptions;
+
+struct WorldShape {
+  int foreign_sites;
+  int mobile_hosts;
+  int correspondents;
+  std::size_t max_list_length;
+  bool forwarding_pointers;
+};
+
+class MhrpWorldProperty : public ::testing::TestWithParam<WorldShape> {};
+
+bool ping_ok(MhrpWorld& w, node::Host& from, net::IpAddress to) {
+  bool replied = false;
+  from.ping(to, [&](const node::Host::PingResult& r) { replied = r.replied; },
+            32, sim::seconds(8));
+  w.topo.sim().run_for(sim::seconds(10));
+  return replied;
+}
+
+TEST_P(MhrpWorldProperty, EveryMobileReachableWhereverItRegisters) {
+  const WorldShape shape = GetParam();
+  MhrpWorldOptions options;
+  options.foreign_sites = shape.foreign_sites;
+  options.mobile_hosts = shape.mobile_hosts;
+  options.correspondents = shape.correspondents;
+  options.max_list_length = shape.max_list_length;
+  options.forwarding_pointers = shape.forwarding_pointers;
+  MhrpWorld w(options);
+
+  for (int i = 0; i < shape.mobile_hosts; ++i) {
+    ASSERT_TRUE(w.move_and_register(i, i % shape.foreign_sites)) << i;
+  }
+  for (int i = 0; i < shape.mobile_hosts; ++i) {
+    node::Host& corr = *w.correspondents[std::size_t(i) %
+                                         w.correspondents.size()];
+    EXPECT_TRUE(ping_ok(w, corr, w.mobile_address(i))) << "mobile " << i;
+  }
+}
+
+TEST_P(MhrpWorldProperty, RandomizedWalkNeverStrandsTheMobileHost) {
+  const WorldShape shape = GetParam();
+  MhrpWorldOptions options;
+  options.foreign_sites = shape.foreign_sites;
+  options.mobile_hosts = 1;
+  options.correspondents = 1;
+  options.max_list_length = shape.max_list_length;
+  options.forwarding_pointers = shape.forwarding_pointers;
+  options.seed = 7 + static_cast<std::uint64_t>(shape.foreign_sites);
+  MhrpWorld w(options);
+  util::Rng rng(options.seed);
+
+  for (int step = 0; step < 6; ++step) {
+    // Random site, occasionally home.
+    const int site = rng.chance(0.2)
+                         ? -1
+                         : static_cast<int>(rng.index(
+                               std::size_t(shape.foreign_sites)));
+    ASSERT_TRUE(w.move_and_register(0, site)) << "step " << step;
+    EXPECT_TRUE(ping_ok(w, *w.correspondents[0], w.mobile_address(0)))
+        << "step " << step << " site " << site;
+  }
+}
+
+TEST_P(MhrpWorldProperty, OverheadIsEightPlusFourPerListEntry) {
+  const WorldShape shape = GetParam();
+  MhrpWorldOptions options;
+  options.foreign_sites = shape.foreign_sites;
+  options.mobile_hosts = 1;
+  options.correspondents = 1;
+  options.max_list_length = shape.max_list_length;
+  options.forwarding_pointers = shape.forwarding_pointers;
+  MhrpWorld w(options);
+  ASSERT_TRUE(w.move_and_register(0, 0));
+
+  scenario::FlowRecorder recorder(*w.mobiles[0]);
+  recorder.set_filter([&](const net::Packet& p) {
+    // Exclude link-local deliveries (the foreign agent's ConnectAck is
+    // handed over on the cell itself, legitimately untunneled).
+    return p.header().dst == w.mobile_address(0) && p.hop_count() > 1;
+  });
+  // A burst of pings with occasional moves in between.
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_TRUE(ping_ok(w, *w.correspondents[0], w.mobile_address(0)));
+    if (round + 1 < shape.foreign_sites) {
+      ASSERT_TRUE(w.move_and_register(0, round + 1));
+    }
+  }
+  const auto& overhead = recorder.total().overhead_bytes;
+  ASSERT_GT(overhead.count, 0u);
+  // Law: 8 + 4k, with k bounded by max_list_length.
+  EXPECT_GE(overhead.min, 8.0);
+  EXPECT_LE(overhead.max, 8.0 + 4.0 * double(shape.max_list_length));
+  // Every observation is ≡ 0 (mod 4).
+  EXPECT_EQ(static_cast<long>(overhead.min) % 4, 0);
+  EXPECT_EQ(static_cast<long>(overhead.max) % 4, 0);
+}
+
+TEST_P(MhrpWorldProperty, CachesConvergeAfterMove) {
+  const WorldShape shape = GetParam();
+  if (shape.foreign_sites < 2) GTEST_SKIP();
+  MhrpWorldOptions options;
+  options.foreign_sites = shape.foreign_sites;
+  options.mobile_hosts = 1;
+  options.correspondents = shape.correspondents;
+  options.max_list_length = shape.max_list_length;
+  options.forwarding_pointers = shape.forwarding_pointers;
+  MhrpWorld w(options);
+  ASSERT_TRUE(w.move_and_register(0, 0));
+
+  // Warm every correspondent's cache.
+  for (auto* corr : w.correspondents) {
+    ASSERT_TRUE(ping_ok(w, *corr, w.mobile_address(0)));
+  }
+  ASSERT_TRUE(w.move_and_register(0, 1));
+
+  // One packet from each correspondent must repair its own cache.
+  for (std::size_t c = 0; c < w.correspondents.size(); ++c) {
+    EXPECT_TRUE(ping_ok(w, *w.correspondents[c], w.mobile_address(0)));
+    auto entry = w.corr_agents[c]->cache().peek(w.mobile_address(0));
+    ASSERT_TRUE(entry.has_value()) << "correspondent " << c;
+    EXPECT_EQ(*entry, w.fa_address(1)) << "correspondent " << c;
+  }
+}
+
+TEST_P(MhrpWorldProperty, ZeroOverheadAtHomeAlways) {
+  const WorldShape shape = GetParam();
+  MhrpWorldOptions options;
+  options.foreign_sites = shape.foreign_sites;
+  options.mobile_hosts = 1;
+  options.correspondents = 1;
+  options.max_list_length = shape.max_list_length;
+  options.forwarding_pointers = shape.forwarding_pointers;
+  MhrpWorld w(options);
+  // Roam, then come home — history must not leave residual overhead.
+  ASSERT_TRUE(w.move_and_register(0, 0));
+  ASSERT_TRUE(ping_ok(w, *w.correspondents[0], w.mobile_address(0)));
+  ASSERT_TRUE(w.move_and_register(0, -1));
+  // First packet home may still take a stale tunnel; it repairs S.
+  ASSERT_TRUE(ping_ok(w, *w.correspondents[0], w.mobile_address(0)));
+
+  scenario::FlowRecorder recorder(*w.mobiles[0]);
+  recorder.set_filter([&](const net::Packet& p) {
+    return p.header().dst == w.mobile_address(0);
+  });
+  ASSERT_TRUE(ping_ok(w, *w.correspondents[0], w.mobile_address(0)));
+  ASSERT_GT(recorder.total().overhead_bytes.count, 0u);
+  EXPECT_EQ(recorder.total().overhead_bytes.max, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MhrpWorldProperty,
+    ::testing::Values(WorldShape{1, 1, 1, 8, true},
+                      WorldShape{2, 1, 1, 8, true},
+                      WorldShape{3, 2, 2, 8, true},
+                      WorldShape{3, 1, 3, 2, true},
+                      WorldShape{4, 3, 2, 8, false},
+                      WorldShape{5, 1, 1, 1, false},
+                      WorldShape{6, 4, 3, 4, true}),
+    [](const ::testing::TestParamInfo<WorldShape>& info) {
+      const WorldShape& s = info.param;
+      return "f" + std::to_string(s.foreign_sites) + "m" +
+             std::to_string(s.mobile_hosts) + "c" +
+             std::to_string(s.correspondents) + "k" +
+             std::to_string(s.max_list_length) +
+             (s.forwarding_pointers ? "ptr" : "noptr");
+    });
+
+// ---- Loop-contraction property (§5.3) over loop size and list cap ----
+
+struct LoopCase {
+  int loop_size;
+  std::size_t max_list;
+};
+
+class LoopContraction : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(LoopContraction, EveryLoopEventuallyDissolves) {
+  const LoopCase param = GetParam();
+  scenario::Topology topo;
+  auto& lan = topo.add_link("lan", sim::millis(1));
+  const net::IpAddress mh = net::IpAddress::parse("10.99.0.77");
+
+  std::vector<node::Router*> routers;
+  std::vector<std::unique_ptr<core::MhrpAgent>> agents;
+  for (int i = 0; i < param.loop_size; ++i) {
+    auto& r = topo.add_router("C" + std::to_string(i));
+    topo.connect(r, lan, net::IpAddress::of(10, 9, 0, std::uint8_t(i + 1)),
+                 24);
+    routers.push_back(&r);
+    core::AgentConfig config;
+    config.cache_agent = true;
+    config.max_list_length = param.max_list;
+    config.update_min_interval = sim::millis(10);
+    agents.push_back(std::make_unique<core::MhrpAgent>(r, config));
+  }
+  auto& injector = topo.add_host("inj");
+  topo.connect(injector, lan, net::IpAddress::parse("10.9.0.100"), 24);
+  topo.install_static_routes();
+  for (int i = 0; i < param.loop_size; ++i) {
+    agents[std::size_t(i)]->cache().update(
+        mh, routers[std::size_t((i + 1) % param.loop_size)]->primary_address());
+  }
+
+  auto has_cycle = [&] {
+    for (std::size_t start = 0; start < agents.size(); ++start) {
+      std::set<std::size_t> path{start};
+      std::size_t cursor = start;
+      while (true) {
+        auto next = agents[cursor]->cache().peek(mh);
+        if (!next.has_value()) break;
+        int idx = -1;
+        for (std::size_t i = 0; i < routers.size(); ++i) {
+          if (routers[i]->primary_address() == *next) idx = int(i);
+        }
+        if (idx < 0) break;
+        if (!path.insert(std::size_t(idx)).second) return true;
+        cursor = std::size_t(idx);
+      }
+    }
+    return false;
+  };
+
+  auto inject = [&] {
+    core::MhrpHeader h;
+    h.orig_protocol = net::to_u8(net::IpProto::kUdp);
+    h.mobile_host = mh;
+    util::ByteWriter w;
+    h.encode(w);
+    std::vector<std::uint8_t> transport(12, 0xEE);
+    auto udp = net::encode_udp({1, 2}, transport);
+    w.bytes(udp);
+    net::IpHeader iph;
+    iph.protocol = net::to_u8(net::IpProto::kMhrp);
+    iph.src = injector.primary_address();
+    iph.dst = routers[0]->primary_address();
+    iph.ttl = 255;
+    injector.send_ip(net::Packet(iph, w.take()));
+  };
+
+  ASSERT_TRUE(has_cycle());
+  int injections = 0;
+  // §5.3: each packet contracts the loop by roughly a factor of the list
+  // size per cycle; TTL death only defers to the next packet.
+  for (; injections < 50 && has_cycle(); ++injections) {
+    inject();
+    topo.sim().run_for(sim::seconds(5));
+  }
+  EXPECT_FALSE(has_cycle()) << "loop survived " << injections << " probes";
+  std::uint64_t detected = 0;
+  for (const auto& a : agents) detected += a->stats().loops_detected;
+  EXPECT_GE(detected, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LoopContraction,
+    ::testing::Values(LoopCase{2, 8}, LoopCase{3, 8}, LoopCase{4, 2},
+                      LoopCase{6, 2}, LoopCase{8, 3}, LoopCase{10, 2},
+                      LoopCase{12, 4}, LoopCase{16, 2}),
+    [](const ::testing::TestParamInfo<LoopCase>& info) {
+      return "L" + std::to_string(info.param.loop_size) + "K" +
+             std::to_string(info.param.max_list);
+    });
+
+}  // namespace
+}  // namespace mhrp

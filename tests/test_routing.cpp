@@ -1,0 +1,192 @@
+// Unit tests: longest-prefix-match table and shortest paths; plus the
+// distance-vector service with §3 host-specific routes.
+#include <gtest/gtest.h>
+
+#include "node/dv_routing.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/routing_table.hpp"
+#include "scenario/topology.hpp"
+
+namespace mhrp {
+namespace {
+
+using routing::Route;
+using routing::RouteKind;
+using routing::RoutingTable;
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s); }
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable t;
+  t.install({net::Prefix::parse("10.0.0.0/8"), ip("1.1.1.1"), nullptr, 1,
+             RouteKind::kStatic});
+  t.install({net::Prefix::parse("10.2.0.0/16"), ip("2.2.2.2"), nullptr, 1,
+             RouteKind::kStatic});
+  t.install({net::Prefix::host(ip("10.2.0.77")), ip("3.3.3.3"), nullptr, 1,
+             RouteKind::kHostSpecific});
+
+  EXPECT_EQ(t.lookup(ip("10.9.0.1"))->next_hop, ip("1.1.1.1"));
+  EXPECT_EQ(t.lookup(ip("10.2.1.1"))->next_hop, ip("2.2.2.2"));
+  EXPECT_EQ(t.lookup(ip("10.2.0.77"))->next_hop, ip("3.3.3.3"));
+  EXPECT_EQ(t.lookup(ip("11.0.0.1")), nullptr);
+}
+
+TEST(RoutingTable, DefaultRouteCatchesEverything) {
+  RoutingTable t;
+  t.install({net::Prefix(net::kUnspecified, 0), ip("9.9.9.9"), nullptr, 1,
+             RouteKind::kStatic});
+  EXPECT_EQ(t.lookup(ip("200.1.2.3"))->next_hop, ip("9.9.9.9"));
+}
+
+TEST(RoutingTable, ConnectedRoutesResistReplacement) {
+  RoutingTable t;
+  t.install({net::Prefix::parse("10.1.0.0/24"), net::kUnspecified, nullptr, 0,
+             RouteKind::kConnected});
+  t.install({net::Prefix::parse("10.1.0.0/24"), ip("5.5.5.5"), nullptr, 3,
+             RouteKind::kDynamic});
+  EXPECT_TRUE(t.lookup(ip("10.1.0.7"))->next_hop.is_unspecified());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RoutingTable, RemoveKindSweepsOnlyThatKind) {
+  RoutingTable t;
+  t.install({net::Prefix::parse("10.1.0.0/24"), ip("1.1.1.1"), nullptr, 1,
+             RouteKind::kStatic});
+  t.install({net::Prefix::parse("10.2.0.0/24"), ip("1.1.1.1"), nullptr, 1,
+             RouteKind::kDynamic});
+  t.install({net::Prefix::parse("10.3.0.0/24"), ip("1.1.1.1"), nullptr, 1,
+             RouteKind::kDynamic});
+  t.remove_kind(RouteKind::kDynamic);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_NE(t.lookup(ip("10.1.0.1")), nullptr);
+  EXPECT_EQ(t.lookup(ip("10.2.0.1")), nullptr);
+}
+
+TEST(Dijkstra, FindsShortestPathsAndFirstHops) {
+  // 0 - 1 - 2
+  //  \     /
+  //   - 3 -
+  routing::Graph g(4);
+  auto edge = [&](int a, int b, double c) {
+    g[std::size_t(a)].push_back({b, c});
+    g[std::size_t(b)].push_back({a, c});
+  };
+  edge(0, 1, 1);
+  edge(1, 2, 1);
+  edge(0, 3, 1);
+  edge(3, 2, 1);
+  auto sp = routing::shortest_paths(g, 0);
+  EXPECT_EQ(sp.distance[2], 2.0);
+  EXPECT_EQ(sp.distance[1], 1.0);
+  auto path = routing::path_to(sp, 0, 2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 2);
+}
+
+TEST(Dijkstra, UnreachableVerticesReported) {
+  routing::Graph g(3);
+  g[0].push_back({1, 1.0});
+  auto sp = routing::shortest_paths(g, 0);
+  EXPECT_FALSE(sp.reachable(2));
+  EXPECT_TRUE(routing::path_to(sp, 0, 2).empty());
+}
+
+TEST(Dijkstra, RespectsEdgeWeights) {
+  routing::Graph g(3);
+  g[0].push_back({1, 10.0});
+  g[0].push_back({2, 1.0});
+  g[2].push_back({1, 1.0});
+  auto sp = routing::shortest_paths(g, 0);
+  EXPECT_EQ(sp.distance[1], 2.0);
+  EXPECT_EQ(sp.first_hop[1], 2);
+}
+
+// ---- Distance vector ----
+
+struct DvWorld {
+  scenario::Topology topo;
+  node::Router* r1;
+  node::Router* r2;
+  node::Router* r3;
+  std::unique_ptr<node::DistanceVector> dv1, dv2, dv3;
+
+  DvWorld() {
+    // r1 -(lanA)- r2 -(lanB)- r3, with stub LANs on r1 and r3.
+    auto& lan_a = topo.add_link("lanA", sim::millis(1));
+    auto& lan_b = topo.add_link("lanB", sim::millis(1));
+    auto& stub1 = topo.add_link("stub1", sim::millis(1));
+    auto& stub3 = topo.add_link("stub3", sim::millis(1));
+    r1 = &topo.add_router("r1");
+    r2 = &topo.add_router("r2");
+    r3 = &topo.add_router("r3");
+    topo.connect(*r1, lan_a, ip("10.0.1.1"), 24);
+    topo.connect(*r2, lan_a, ip("10.0.1.2"), 24);
+    topo.connect(*r2, lan_b, ip("10.0.2.1"), 24);
+    topo.connect(*r3, lan_b, ip("10.0.2.2"), 24);
+    topo.connect(*r1, stub1, ip("10.1.0.1"), 24);
+    topo.connect(*r3, stub3, ip("10.3.0.1"), 24);
+    node::DvConfig config;
+    config.update_period = sim::seconds(1);
+    dv1 = std::make_unique<node::DistanceVector>(*r1, config);
+    dv2 = std::make_unique<node::DistanceVector>(*r2, config);
+    dv3 = std::make_unique<node::DistanceVector>(*r3, config);
+  }
+};
+
+TEST(DistanceVector, ConvergesAcrossTwoHops) {
+  DvWorld w;
+  w.dv1->start();
+  w.dv2->start();
+  w.dv3->start();
+  w.topo.sim().run_for(sim::seconds(10));
+  // r1 should know r3's stub via r2.
+  const auto* route = w.r1->routing_table().lookup(ip("10.3.0.5"));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->next_hop, ip("10.0.1.2"));
+  EXPECT_EQ(route->kind, routing::RouteKind::kDynamic);
+  EXPECT_EQ(route->metric, 2);
+}
+
+TEST(DistanceVector, HostSpecificRoutePropagatesAndWithdraws) {
+  // Paper §3: a home agent advertises a /32 for a disconnected mobile
+  // host, withdrawn when the host returns.
+  DvWorld w;
+  w.dv1->start();
+  w.dv2->start();
+  w.dv3->start();
+  w.topo.sim().run_for(sim::seconds(10));
+
+  const auto mh = ip("10.1.0.77");
+  w.dv1->advertise_host_route(mh, true);
+  w.topo.sim().run_for(sim::seconds(10));
+  const auto* at_r3 = w.r3->routing_table().find(net::Prefix::host(mh));
+  ASSERT_NE(at_r3, nullptr);
+  EXPECT_EQ(at_r3->kind, routing::RouteKind::kHostSpecific);
+
+  w.dv1->advertise_host_route(mh, false);
+  w.topo.sim().run_for(sim::seconds(40));
+  EXPECT_EQ(w.r3->routing_table().find(net::Prefix::host(mh)), nullptr);
+}
+
+TEST(DistanceVector, RoutesExpireWhenNeighborGoesSilent) {
+  DvWorld w;
+  w.dv1->start();
+  w.dv2->start();
+  w.dv3->start();
+  w.topo.sim().run_for(sim::seconds(10));
+  ASSERT_NE(w.r1->routing_table().lookup(ip("10.3.0.5")), nullptr);
+
+  w.dv3->stop();
+  w.dv2->stop();  // r2 stops refreshing what it learned from r3
+  // r1 keeps hearing nothing; after route_lifetime the entry is swept on
+  // the next update cycle.
+  w.topo.sim().run_for(sim::seconds(120));
+  // Expiry is lazy (checked on update); trigger one.
+  w.dv1->send_updates();
+  const auto* route = w.r1->routing_table().lookup(ip("10.3.0.5"));
+  EXPECT_EQ(route, nullptr);
+}
+
+}  // namespace
+}  // namespace mhrp

@@ -1,0 +1,175 @@
+// Unit tests: discrete-event queue ordering, cancellation, the simulator
+// executive, and timers.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace mhrp::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [when, action] = q.pop();
+    action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifoBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto handle = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(q.cancel(handle));
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(handle));  // double cancel is a no-op
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, SizeTracksLiveEventsOnly) {
+  EventQueue q;
+  auto a = q.schedule(1, [] {});
+  auto b = q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_EQ(q.size(), 0u);
+  (void)b;
+}
+
+TEST(Simulator, ClockFollowsEvents) {
+  Simulator sim;
+  Time seen = -1;
+  sim.after(millis(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, millis(5));
+  EXPECT_EQ(sim.now(), millis(5));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.after(millis(1), [&] { ++count; });
+  sim.after(millis(100), [&] { ++count; });
+  sim.run_until(millis(10));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), millis(10));
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<Time> times;
+  std::function<void(int)> chain = [&](int depth) {
+    times.push_back(sim.now());
+    if (depth > 0) {
+      sim.after(millis(2), [&chain, depth] { chain(depth - 1); });
+    }
+  };
+  sim.after(0, [&] { chain(3); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Time>{0, millis(2), millis(4), millis(6)}));
+}
+
+TEST(Simulator, StopInterruptsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.after(millis(i), [&sim, &count] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  sim.after(millis(10), [] {});
+  sim.run();
+  bool ran = false;
+  sim.at(millis(1), [&] { ran = true; });  // in the past now
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), millis(10));
+}
+
+TEST(PeriodicTimer, FiresRepeatedlyUntilStopped) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, millis(10), [&] { ++fires; });
+  timer.start();
+  sim.run_until(millis(55));
+  EXPECT_EQ(fires, 5);
+  timer.stop();
+  sim.run_until(millis(200));
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimer, ActionMayStopItself) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, millis(10), [&] {
+    if (++fires == 3) timer.stop();
+  });
+  timer.start();
+  sim.run_until(seconds(1));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(OneShotTimer, ArmRearmsAndCancels) {
+  Simulator sim;
+  int fires = 0;
+  OneShotTimer timer(sim, [&] { ++fires; });
+  timer.arm(millis(10));
+  timer.arm(millis(20));  // replaces the first
+  sim.run_until(millis(15));
+  EXPECT_EQ(fires, 0);
+  sim.run_until(millis(25));
+  EXPECT_EQ(fires, 1);
+  timer.arm(millis(10));
+  timer.cancel();
+  sim.run_until(millis(100));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TimerDestruction, CancelsPendingWork) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(sim, millis(10), [&] { ++fires; });
+    timer.start();
+  }
+  sim.run_until(seconds(1));
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(seconds(2), 2'000'000);
+  EXPECT_EQ(millis(3), 3'000);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2'500'000), 2.5);
+}
+
+}  // namespace
+}  // namespace mhrp::sim
