@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fa_recovery.dir/bench_fa_recovery.cpp.o"
+  "CMakeFiles/bench_fa_recovery.dir/bench_fa_recovery.cpp.o.d"
+  "bench_fa_recovery"
+  "bench_fa_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fa_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_handoff.dir/bench_handoff.cpp.o"
+  "CMakeFiles/bench_handoff.dir/bench_handoff.cpp.o.d"
+  "bench_handoff"
+  "bench_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_home_overhead.dir/bench_home_overhead.cpp.o"
+  "CMakeFiles/bench_home_overhead.dir/bench_home_overhead.cpp.o.d"
+  "bench_home_overhead"
+  "bench_home_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_home_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

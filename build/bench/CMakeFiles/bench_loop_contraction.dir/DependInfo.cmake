@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_loop_contraction.cpp" "bench/CMakeFiles/bench_loop_contraction.dir/bench_loop_contraction.cpp.o" "gcc" "bench/CMakeFiles/bench_loop_contraction.dir/bench_loop_contraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/mhrp_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mhrp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mhrp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/mhrp_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mhrp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mhrp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

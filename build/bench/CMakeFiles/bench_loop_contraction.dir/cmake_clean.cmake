@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loop_contraction.dir/bench_loop_contraction.cpp.o"
+  "CMakeFiles/bench_loop_contraction.dir/bench_loop_contraction.cpp.o.d"
+  "bench_loop_contraction"
+  "bench_loop_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loop_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsrr_slowpath.dir/bench_lsrr_slowpath.cpp.o"
+  "CMakeFiles/bench_lsrr_slowpath.dir/bench_lsrr_slowpath.cpp.o.d"
+  "bench_lsrr_slowpath"
+  "bench_lsrr_slowpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsrr_slowpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_route_optimization.dir/bench_route_optimization.cpp.o"
+  "CMakeFiles/bench_route_optimization.dir/bench_route_optimization.cpp.o.d"
+  "bench_route_optimization"
+  "bench_route_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_route_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

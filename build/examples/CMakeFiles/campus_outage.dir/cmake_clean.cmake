@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_outage.dir/campus_outage.cpp.o"
+  "CMakeFiles/campus_outage.dir/campus_outage.cpp.o.d"
+  "campus_outage"
+  "campus_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/download_while_roaming.dir/download_while_roaming.cpp.o"
+  "CMakeFiles/download_while_roaming.dir/download_while_roaming.cpp.o.d"
+  "download_while_roaming"
+  "download_while_roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/download_while_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_laptop.dir/roaming_laptop.cpp.o"
+  "CMakeFiles/roaming_laptop.dir/roaming_laptop.cpp.o.d"
+  "roaming_laptop"
+  "roaming_laptop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_laptop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/columbia_ipip.cpp" "src/baselines/CMakeFiles/mhrp_baselines.dir/columbia_ipip.cpp.o" "gcc" "src/baselines/CMakeFiles/mhrp_baselines.dir/columbia_ipip.cpp.o.d"
+  "/root/repo/src/baselines/ibm_lsrr.cpp" "src/baselines/CMakeFiles/mhrp_baselines.dir/ibm_lsrr.cpp.o" "gcc" "src/baselines/CMakeFiles/mhrp_baselines.dir/ibm_lsrr.cpp.o.d"
+  "/root/repo/src/baselines/matsushita_iptp.cpp" "src/baselines/CMakeFiles/mhrp_baselines.dir/matsushita_iptp.cpp.o" "gcc" "src/baselines/CMakeFiles/mhrp_baselines.dir/matsushita_iptp.cpp.o.d"
+  "/root/repo/src/baselines/sony_vip.cpp" "src/baselines/CMakeFiles/mhrp_baselines.dir/sony_vip.cpp.o" "gcc" "src/baselines/CMakeFiles/mhrp_baselines.dir/sony_vip.cpp.o.d"
+  "/root/repo/src/baselines/sunshine_postel.cpp" "src/baselines/CMakeFiles/mhrp_baselines.dir/sunshine_postel.cpp.o" "gcc" "src/baselines/CMakeFiles/mhrp_baselines.dir/sunshine_postel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/node/CMakeFiles/mhrp_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mhrp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mhrp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhrp_baselines.dir/columbia_ipip.cpp.o"
+  "CMakeFiles/mhrp_baselines.dir/columbia_ipip.cpp.o.d"
+  "CMakeFiles/mhrp_baselines.dir/ibm_lsrr.cpp.o"
+  "CMakeFiles/mhrp_baselines.dir/ibm_lsrr.cpp.o.d"
+  "CMakeFiles/mhrp_baselines.dir/matsushita_iptp.cpp.o"
+  "CMakeFiles/mhrp_baselines.dir/matsushita_iptp.cpp.o.d"
+  "CMakeFiles/mhrp_baselines.dir/sony_vip.cpp.o"
+  "CMakeFiles/mhrp_baselines.dir/sony_vip.cpp.o.d"
+  "CMakeFiles/mhrp_baselines.dir/sunshine_postel.cpp.o"
+  "CMakeFiles/mhrp_baselines.dir/sunshine_postel.cpp.o.d"
+  "libmhrp_baselines.a"
+  "libmhrp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhrp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/mhrp_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/mhrp_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/encapsulation.cpp" "src/core/CMakeFiles/mhrp_core.dir/encapsulation.cpp.o" "gcc" "src/core/CMakeFiles/mhrp_core.dir/encapsulation.cpp.o.d"
+  "/root/repo/src/core/location_cache.cpp" "src/core/CMakeFiles/mhrp_core.dir/location_cache.cpp.o" "gcc" "src/core/CMakeFiles/mhrp_core.dir/location_cache.cpp.o.d"
+  "/root/repo/src/core/mhrp_header.cpp" "src/core/CMakeFiles/mhrp_core.dir/mhrp_header.cpp.o" "gcc" "src/core/CMakeFiles/mhrp_core.dir/mhrp_header.cpp.o.d"
+  "/root/repo/src/core/mobile_host.cpp" "src/core/CMakeFiles/mhrp_core.dir/mobile_host.cpp.o" "gcc" "src/core/CMakeFiles/mhrp_core.dir/mobile_host.cpp.o.d"
+  "/root/repo/src/core/registration.cpp" "src/core/CMakeFiles/mhrp_core.dir/registration.cpp.o" "gcc" "src/core/CMakeFiles/mhrp_core.dir/registration.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/mhrp_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/mhrp_core.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/node/CMakeFiles/mhrp_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mhrp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mhrp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhrp_core.dir/agent.cpp.o"
+  "CMakeFiles/mhrp_core.dir/agent.cpp.o.d"
+  "CMakeFiles/mhrp_core.dir/encapsulation.cpp.o"
+  "CMakeFiles/mhrp_core.dir/encapsulation.cpp.o.d"
+  "CMakeFiles/mhrp_core.dir/location_cache.cpp.o"
+  "CMakeFiles/mhrp_core.dir/location_cache.cpp.o.d"
+  "CMakeFiles/mhrp_core.dir/mhrp_header.cpp.o"
+  "CMakeFiles/mhrp_core.dir/mhrp_header.cpp.o.d"
+  "CMakeFiles/mhrp_core.dir/mobile_host.cpp.o"
+  "CMakeFiles/mhrp_core.dir/mobile_host.cpp.o.d"
+  "CMakeFiles/mhrp_core.dir/registration.cpp.o"
+  "CMakeFiles/mhrp_core.dir/registration.cpp.o.d"
+  "CMakeFiles/mhrp_core.dir/replication.cpp.o"
+  "CMakeFiles/mhrp_core.dir/replication.cpp.o.d"
+  "libmhrp_core.a"
+  "libmhrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhrp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/icmp.cpp" "src/net/CMakeFiles/mhrp_net.dir/icmp.cpp.o" "gcc" "src/net/CMakeFiles/mhrp_net.dir/icmp.cpp.o.d"
+  "/root/repo/src/net/interface.cpp" "src/net/CMakeFiles/mhrp_net.dir/interface.cpp.o" "gcc" "src/net/CMakeFiles/mhrp_net.dir/interface.cpp.o.d"
+  "/root/repo/src/net/ip_address.cpp" "src/net/CMakeFiles/mhrp_net.dir/ip_address.cpp.o" "gcc" "src/net/CMakeFiles/mhrp_net.dir/ip_address.cpp.o.d"
+  "/root/repo/src/net/ip_header.cpp" "src/net/CMakeFiles/mhrp_net.dir/ip_header.cpp.o" "gcc" "src/net/CMakeFiles/mhrp_net.dir/ip_header.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/mhrp_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/mhrp_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/mac_address.cpp" "src/net/CMakeFiles/mhrp_net.dir/mac_address.cpp.o" "gcc" "src/net/CMakeFiles/mhrp_net.dir/mac_address.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/mhrp_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/mhrp_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/mhrp_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/mhrp_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mhrp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

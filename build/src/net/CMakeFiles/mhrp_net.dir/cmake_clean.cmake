@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhrp_net.dir/icmp.cpp.o"
+  "CMakeFiles/mhrp_net.dir/icmp.cpp.o.d"
+  "CMakeFiles/mhrp_net.dir/interface.cpp.o"
+  "CMakeFiles/mhrp_net.dir/interface.cpp.o.d"
+  "CMakeFiles/mhrp_net.dir/ip_address.cpp.o"
+  "CMakeFiles/mhrp_net.dir/ip_address.cpp.o.d"
+  "CMakeFiles/mhrp_net.dir/ip_header.cpp.o"
+  "CMakeFiles/mhrp_net.dir/ip_header.cpp.o.d"
+  "CMakeFiles/mhrp_net.dir/link.cpp.o"
+  "CMakeFiles/mhrp_net.dir/link.cpp.o.d"
+  "CMakeFiles/mhrp_net.dir/mac_address.cpp.o"
+  "CMakeFiles/mhrp_net.dir/mac_address.cpp.o.d"
+  "CMakeFiles/mhrp_net.dir/packet.cpp.o"
+  "CMakeFiles/mhrp_net.dir/packet.cpp.o.d"
+  "CMakeFiles/mhrp_net.dir/udp.cpp.o"
+  "CMakeFiles/mhrp_net.dir/udp.cpp.o.d"
+  "libmhrp_net.a"
+  "libmhrp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhrp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/dv_routing.cpp" "src/node/CMakeFiles/mhrp_node.dir/dv_routing.cpp.o" "gcc" "src/node/CMakeFiles/mhrp_node.dir/dv_routing.cpp.o.d"
+  "/root/repo/src/node/host.cpp" "src/node/CMakeFiles/mhrp_node.dir/host.cpp.o" "gcc" "src/node/CMakeFiles/mhrp_node.dir/host.cpp.o.d"
+  "/root/repo/src/node/node.cpp" "src/node/CMakeFiles/mhrp_node.dir/node.cpp.o" "gcc" "src/node/CMakeFiles/mhrp_node.dir/node.cpp.o.d"
+  "/root/repo/src/node/stream.cpp" "src/node/CMakeFiles/mhrp_node.dir/stream.cpp.o" "gcc" "src/node/CMakeFiles/mhrp_node.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mhrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mhrp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mhrp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhrp_node.dir/dv_routing.cpp.o"
+  "CMakeFiles/mhrp_node.dir/dv_routing.cpp.o.d"
+  "CMakeFiles/mhrp_node.dir/host.cpp.o"
+  "CMakeFiles/mhrp_node.dir/host.cpp.o.d"
+  "CMakeFiles/mhrp_node.dir/node.cpp.o"
+  "CMakeFiles/mhrp_node.dir/node.cpp.o.d"
+  "CMakeFiles/mhrp_node.dir/stream.cpp.o"
+  "CMakeFiles/mhrp_node.dir/stream.cpp.o.d"
+  "libmhrp_node.a"
+  "libmhrp_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhrp_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

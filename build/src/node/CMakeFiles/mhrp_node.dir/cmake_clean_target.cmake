@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmhrp_node.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/dijkstra.cpp" "src/routing/CMakeFiles/mhrp_routing.dir/dijkstra.cpp.o" "gcc" "src/routing/CMakeFiles/mhrp_routing.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/routing/routing_table.cpp" "src/routing/CMakeFiles/mhrp_routing.dir/routing_table.cpp.o" "gcc" "src/routing/CMakeFiles/mhrp_routing.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mhrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mhrp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

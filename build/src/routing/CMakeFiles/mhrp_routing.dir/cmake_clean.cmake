@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhrp_routing.dir/dijkstra.cpp.o"
+  "CMakeFiles/mhrp_routing.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/mhrp_routing.dir/routing_table.cpp.o"
+  "CMakeFiles/mhrp_routing.dir/routing_table.cpp.o.d"
+  "libmhrp_routing.a"
+  "libmhrp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhrp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

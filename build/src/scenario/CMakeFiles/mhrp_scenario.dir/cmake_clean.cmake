@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhrp_scenario.dir/figure1.cpp.o"
+  "CMakeFiles/mhrp_scenario.dir/figure1.cpp.o.d"
+  "CMakeFiles/mhrp_scenario.dir/mhrp_world.cpp.o"
+  "CMakeFiles/mhrp_scenario.dir/mhrp_world.cpp.o.d"
+  "CMakeFiles/mhrp_scenario.dir/topology.cpp.o"
+  "CMakeFiles/mhrp_scenario.dir/topology.cpp.o.d"
+  "CMakeFiles/mhrp_scenario.dir/tracer.cpp.o"
+  "CMakeFiles/mhrp_scenario.dir/tracer.cpp.o.d"
+  "CMakeFiles/mhrp_scenario.dir/workload.cpp.o"
+  "CMakeFiles/mhrp_scenario.dir/workload.cpp.o.d"
+  "libmhrp_scenario.a"
+  "libmhrp_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhrp_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

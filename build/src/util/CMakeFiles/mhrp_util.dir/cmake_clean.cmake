@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhrp_util.dir/checksum.cpp.o"
+  "CMakeFiles/mhrp_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/mhrp_util.dir/log.cpp.o"
+  "CMakeFiles/mhrp_util.dir/log.cpp.o.d"
+  "libmhrp_util.a"
+  "libmhrp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhrp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

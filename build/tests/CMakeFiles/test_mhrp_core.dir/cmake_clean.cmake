@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mhrp_core.dir/test_mhrp_core.cpp.o"
+  "CMakeFiles/test_mhrp_core.dir/test_mhrp_core.cpp.o.d"
+  "test_mhrp_core"
+  "test_mhrp_core.pdb"
+  "test_mhrp_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mhrp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

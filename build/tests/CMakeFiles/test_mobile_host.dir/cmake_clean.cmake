@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobile_host.dir/test_mobile_host.cpp.o"
+  "CMakeFiles/test_mobile_host.dir/test_mobile_host.cpp.o.d"
+  "test_mobile_host"
+  "test_mobile_host.pdb"
+  "test_mobile_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobile_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
