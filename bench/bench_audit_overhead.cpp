@@ -1,0 +1,112 @@
+// Per-packet cost of the audit layer, so future PRs can keep audit-build
+// overhead bounded (<10% of the forwarding path is the budget ISSUE 1
+// sets). Reports:
+//  * the serialize-only baseline (the floor any wire-level check pays),
+//  * audit_packet() on plain UDP and on MHRP tunnels of growing list
+//    length,
+//  * a two-host link simulation with and without the auditor attached —
+//    the end-to-end number that matters for audit-build test runs.
+#include <benchmark/benchmark.h>
+
+#include "analysis/packet_auditor.hpp"
+#include "core/encapsulation.hpp"
+#include "scenario/topology.hpp"
+
+namespace {
+
+using mhrp::analysis::PacketAuditor;
+
+mhrp::net::Packet make_udp_packet(std::size_t payload_size) {
+  mhrp::net::IpHeader h;
+  h.protocol = mhrp::net::to_u8(mhrp::net::IpProto::kUdp);
+  h.src = mhrp::net::IpAddress::of(10, 1, 0, 10);
+  h.dst = mhrp::net::IpAddress::of(10, 2, 0, 77);
+  return mhrp::net::Packet(h, std::vector<std::uint8_t>(payload_size, 0xAB));
+}
+
+mhrp::net::Packet make_mhrp_packet(std::size_t list_length) {
+  mhrp::net::Packet p = make_udp_packet(64);
+  mhrp::core::encapsulate(p, mhrp::net::IpAddress::of(10, 4, 0, 1),
+                          mhrp::net::IpAddress::of(10, 2, 0, 1));
+  mhrp::core::MhrpHeader h = mhrp::core::read_mhrp_header(p);
+  while (h.previous_sources.size() < list_length) {
+    h.previous_sources.push_back(mhrp::net::IpAddress::of(
+        10, 3, 0, static_cast<std::uint8_t>(h.previous_sources.size())));
+  }
+  mhrp::core::write_mhrp_header(p, h);
+  return p;
+}
+
+void BM_SerializeBaseline(benchmark::State& state) {
+  const mhrp::net::Packet p = make_udp_packet(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.serialize());
+  }
+}
+BENCHMARK(BM_SerializeBaseline);
+
+void BM_AuditPlainUdp(benchmark::State& state) {
+  PacketAuditor auditor;
+  const mhrp::net::Packet p = make_udp_packet(64);
+  for (auto _ : state) {
+    auditor.audit_packet(p);
+  }
+  if (!auditor.report().clean()) state.SkipWithError("audit flagged clean traffic");
+}
+BENCHMARK(BM_AuditPlainUdp);
+
+void BM_AuditMhrpTunnel(benchmark::State& state) {
+  PacketAuditor auditor;
+  const mhrp::net::Packet p =
+      make_mhrp_packet(static_cast<std::size_t>(state.range(0)));
+  // Suppress the first-observation size check: long lists are legitimate
+  // mid-path states, and this bench times steady-state re-auditing.
+  auditor.registry().set_enabled(
+      mhrp::analysis::InvariantId::kMhrpHeaderSize, false);
+  for (auto _ : state) {
+    auditor.audit_packet(p);
+  }
+  if (!auditor.report().clean()) state.SkipWithError("audit flagged clean traffic");
+}
+BENCHMARK(BM_AuditMhrpTunnel)->Arg(1)->Arg(4)->Arg(8);
+
+/// One UDP datagram host→host across a single link, full stack (ARP is
+/// warmed up first). `audited` toggles the attached PacketAuditor.
+void run_link_bench(benchmark::State& state, bool audited) {
+  mhrp::scenario::Topology topo;
+  auto& a = topo.add_host("A");
+  auto& b = topo.add_host("B");
+  auto& lan = topo.add_link("lan", mhrp::sim::micros(1));
+  topo.connect(a, lan, mhrp::net::IpAddress::of(10, 1, 0, 1), 24);
+  topo.connect(b, lan, mhrp::net::IpAddress::of(10, 1, 0, 2), 24);
+  topo.install_static_routes();
+
+  PacketAuditor auditor;
+  if (audited) auditor.attach_link(lan);
+
+  const std::vector<std::uint8_t> payload(64, 0xCD);
+  const mhrp::net::IpAddress dst = mhrp::net::IpAddress::of(10, 1, 0, 2);
+  a.send_udp(dst, 1000, 2000, payload);  // warm the ARP cache
+  topo.sim().run();
+
+  for (auto _ : state) {
+    a.send_udp(dst, 1000, 2000, payload);
+    topo.sim().run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (audited && !auditor.report().clean()) {
+    state.SkipWithError("audit flagged clean traffic");
+  }
+}
+
+void BM_LinkDelivery_NoAudit(benchmark::State& state) {
+  run_link_bench(state, /*audited=*/false);
+}
+BENCHMARK(BM_LinkDelivery_NoAudit);
+
+void BM_LinkDelivery_Audited(benchmark::State& state) {
+  run_link_bench(state, /*audited=*/true);
+}
+BENCHMARK(BM_LinkDelivery_Audited);
+
+}  // namespace

@@ -1,0 +1,29 @@
+#include "analysis/audit_report.hpp"
+
+#include <sstream>
+
+namespace mhrp::analysis {
+
+std::string AuditReport::to_string() const {
+  std::ostringstream out;
+  out << "AuditReport: " << total_ << " violation(s) over "
+      << frames_audited << " frames / " << packets_audited << " datagrams ("
+      << mhrp_packets_audited << " MHRP) / " << cache_audits
+      << " cache audits\n";
+  for (const InvariantInfo& inv : InvariantRegistry::all()) {
+    const std::uint64_t n = count(inv.id);
+    if (n == 0) continue;
+    out << "  [" << inv.name << "] (" << inv.paper_ref << ") x" << n << ": "
+        << inv.statement << "\n";
+    if (const AuditViolation* v = first(inv.id)) {
+      out << "    first offender";
+      if (v->packet_id != 0) out << " packet #" << v->packet_id;
+      if (!v->where.empty()) out << " at " << v->where;
+      out << ", t=" << sim::format_time(v->when) << ":\n      " << v->detail
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mhrp::analysis

@@ -1,0 +1,72 @@
+// The structured result of an audit run: per-invariant violation counts
+// plus the first offending packet (or cache) for each invariant, kept as
+// a rendered dump so a failing test prints something actionable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/invariant_registry.hpp"
+#include "sim/time.hpp"
+
+namespace mhrp::analysis {
+
+/// One recorded invariant violation. `packet_id` is 0 for violations not
+/// tied to a packet (the cache invariants).
+struct AuditViolation {
+  InvariantId id{};
+  std::uint64_t packet_id = 0;
+  sim::Time when = sim::kTimeZero;
+  std::string where;   // link name or cache label
+  std::string detail;  // what failed, plus a first-offender dump
+};
+
+class AuditReport {
+ public:
+  /// Count the violation; the first one per invariant is kept verbatim.
+  void add(AuditViolation v) {
+    auto& slot = first_[index_of(v.id)];
+    ++counts_[index_of(v.id)];
+    ++total_;
+    if (!slot.has_value()) slot = std::move(v);
+  }
+
+  [[nodiscard]] std::uint64_t total_violations() const { return total_; }
+  [[nodiscard]] std::uint64_t count(InvariantId id) const {
+    return counts_[index_of(id)];
+  }
+  /// First recorded violation of `id`, or nullptr when none occurred.
+  [[nodiscard]] const AuditViolation* first(InvariantId id) const {
+    const auto& slot = first_[index_of(id)];
+    return slot.has_value() ? &*slot : nullptr;
+  }
+  [[nodiscard]] bool clean() const { return total_ == 0; }
+
+  // ---- Coverage counters (what the audit actually looked at) ----
+
+  std::uint64_t frames_audited = 0;
+  std::uint64_t packets_audited = 0;
+  std::uint64_t mhrp_packets_audited = 0;
+  std::uint64_t cache_audits = 0;
+
+  /// Render counts (per audited invariant) and first offenders, with the
+  /// registry's names and paper citations. Tests print this on failure.
+  [[nodiscard]] std::string to_string() const;
+
+  void reset() {
+    counts_.fill(0);
+    for (auto& slot : first_) slot.reset();
+    total_ = 0;
+    frames_audited = packets_audited = mhrp_packets_audited = 0;
+    cache_audits = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kInvariantCount> counts_{};
+  std::array<std::optional<AuditViolation>, kInvariantCount> first_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mhrp::analysis

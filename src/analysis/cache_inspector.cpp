@@ -1,0 +1,40 @@
+#include "analysis/cache_inspector.hpp"
+
+#include <sstream>
+
+namespace mhrp::analysis {
+
+CacheInspector::Findings CacheInspector::check(
+    const core::LocationCache& cache) {
+  Findings f;
+  std::ostringstream detail;
+
+  if (cache.lru_.size() != cache.map_.size()) {
+    f.coherent = false;
+    detail << "LRU list holds " << cache.lru_.size() << " entries but map holds "
+           << cache.map_.size() << "; ";
+  }
+  for (const auto& [address, node] : cache.map_) {
+    if (node->mobile_host != address) {
+      f.coherent = false;
+      detail << "map slot for " << address.to_string()
+             << " points at LRU node for " << node->mobile_host.to_string()
+             << "; ";
+    }
+  }
+  if (cache.capacity_ != 0 && cache.map_.size() > cache.capacity_) {
+    f.within_capacity = false;
+    detail << "size " << cache.map_.size() << " exceeds capacity "
+           << cache.capacity_ << "; ";
+  }
+  f.detail = detail.str();
+  return f;
+}
+
+void CacheInspector::corrupt_with_orphan_entry_for_test(
+    core::LocationCache& cache) {
+  cache.lru_.emplace_back(core::LocationCache::Entry{
+      net::IpAddress::of(203, 0, 113, 113), net::IpAddress::of(203, 0, 113, 1)});
+}
+
+}  // namespace mhrp::analysis

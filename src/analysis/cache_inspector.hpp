@@ -1,0 +1,29 @@
+// Structural audit of a LocationCache: the bounded-LRU implementation
+// keeps a doubly-linked recency list plus an address→node map, and every
+// operation must leave the two describing the same set of entries. The
+// inspector is a friend of LocationCache so the checks read the real
+// structures rather than a projection of them.
+#pragma once
+
+#include <string>
+
+#include "core/location_cache.hpp"
+
+namespace mhrp::analysis {
+
+class CacheInspector {
+ public:
+  struct Findings {
+    bool coherent = true;        // list ↔ map bijection holds
+    bool within_capacity = true; // size ≤ capacity (capacity 0 = unbounded)
+    std::string detail;          // human-readable description of any breakage
+  };
+
+  [[nodiscard]] static Findings check(const core::LocationCache& cache);
+
+  /// Test-only: break the list ↔ map bijection by appending an LRU node
+  /// with no map entry, so auditor tests can prove corruption is seen.
+  static void corrupt_with_orphan_entry_for_test(core::LocationCache& cache);
+};
+
+}  // namespace mhrp::analysis

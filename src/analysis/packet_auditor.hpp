@@ -1,0 +1,114 @@
+// PacketAuditor: attaches to the simulated wire (every Link) and, frame
+// by frame, validates the paper's wire invariants — MHRP header sizes
+// (§4.1), previous-source-list growth (§4.4), the no-duplicate guarantee
+// of loop contraction (§5.3), IP/ICMP/MHRP checksum validity, and TTL
+// monotonicity — plus the LocationCache structural invariants of every
+// cache it is asked to watch. Violations are collected into an
+// AuditReport that tests and benches assert on.
+//
+// Attachment is runtime and costs one pointer test per transmission when
+// absent. Audit builds (cmake -DMHRP_AUDIT=ON) additionally auto-attach
+// a process-global auditor to every scenario topology (see
+// scenario/audit_hooks.hpp), so the whole suite runs under full audit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/audit_report.hpp"
+#include "analysis/invariant_registry.hpp"
+#include "core/location_cache.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace mhrp::analysis {
+
+class PacketAuditor final : public net::LinkObserver {
+ public:
+  PacketAuditor() = default;
+  ~PacketAuditor() override;
+
+  PacketAuditor(const PacketAuditor&) = delete;
+  PacketAuditor& operator=(const PacketAuditor&) = delete;
+  PacketAuditor(PacketAuditor&&) = delete;
+  PacketAuditor& operator=(PacketAuditor&&) = delete;
+
+  [[nodiscard]] InvariantRegistry& registry() { return registry_; }
+  [[nodiscard]] const AuditReport& report() const { return report_; }
+  [[nodiscard]] AuditReport& report() { return report_; }
+
+  // ---- Attachment ----
+
+  /// Observe every frame `link` carries. Lifetime is safe in both
+  /// directions: a destroyed link removes itself (LinkObserver::
+  /// on_detached) and the auditor's destructor detaches from live links.
+  void attach_link(net::Link& link);
+  void detach_link(net::Link& link);
+
+  /// Check `cache`'s structural invariants on every audit_caches() pass.
+  /// The cache must outlive the auditor or be unwatched first.
+  void watch_cache(const core::LocationCache& cache, std::string label);
+  void unwatch_cache(const core::LocationCache& cache);
+
+  /// Detach from every link and forget every watched cache.
+  void detach_all();
+
+  /// Watched caches are re-checked every `frames` observed frames
+  /// (default 256; 0 = only on explicit audit_caches() calls).
+  void set_cache_audit_interval(std::uint64_t frames) {
+    cache_audit_interval_ = frames;
+  }
+
+  // ---- Checks ----
+
+  void on_transmit(const net::Link& link, const net::Frame& frame,
+                   sim::Time now) override;
+  void on_detached(net::Link& link) override;
+
+  /// Audit one datagram as if it crossed a wire at `now`. `where` names
+  /// the observation point in violation reports.
+  void audit_packet(const net::Packet& packet, sim::Time now = sim::kTimeZero,
+                    const std::string& where = "direct");
+
+  /// Run the structural checks over every watched cache.
+  void audit_caches(sim::Time now = sim::kTimeZero);
+
+  /// Drop accumulated per-datagram path state (TTL / list-length
+  /// history). The report is left untouched.
+  void forget_path_state() { paths_.clear(); }
+
+ private:
+  /// Last-seen wire state of one datagram (keyed by Packet::id), used for
+  /// the cross-hop invariants: TTL monotonicity and list growth.
+  struct PathState {
+    bool ttl_seen = false;
+    std::uint8_t last_ttl = 0;
+    bool mhrp_seen = false;
+    std::size_t last_list_len = 0;
+  };
+
+  void violate(InvariantId id, const net::Packet& packet, sim::Time now,
+               const std::string& where, std::string what);
+  void check_round_trip(const net::Packet& packet, sim::Time now,
+                        const std::string& where);
+  void check_mhrp(const net::Packet& packet, PathState& state, sim::Time now,
+                  const std::string& where);
+  PathState& path_state(std::uint64_t packet_id);
+
+  InvariantRegistry registry_;
+  AuditReport report_;
+  std::unordered_map<std::uint64_t, PathState> paths_;
+  std::vector<net::Link*> links_;
+  std::vector<std::pair<const core::LocationCache*, std::string>> caches_;
+  std::uint64_t cache_audit_interval_ = 256;
+
+  /// Path-state entries are dropped wholesale past this many tracked
+  /// datagrams (long benches would otherwise grow without bound; the
+  /// cross-hop checks simply restart for in-flight packets).
+  static constexpr std::size_t kMaxTrackedPackets = 1u << 20u;
+};
+
+}  // namespace mhrp::analysis

@@ -116,9 +116,9 @@ void Msr::clear_offsite_address(IpAddress mobile_host) {
 node::Intercept Msr::on_forward(Packet& packet, net::Interface& in) {
   (void)in;
   const IpAddress dst = packet.header().dst;
-  if (campus_hosts_.count(dst) == 0) return node::Intercept::kContinue;
+  if (!campus_hosts_.contains(dst)) return node::Intercept::kContinue;
 
-  if (visiting_.count(dst) > 0) {
+  if (visiting_.contains(dst)) {
     // The host is on our own network right now: deliver directly.
     ++stats_.delivered;
     node_.send_ip_on(local_iface_, std::move(packet), dst);
@@ -173,13 +173,13 @@ void Msr::on_ipip(Packet& packet, net::Interface& in) {
     return;
   }
   const IpAddress dst = inner.header().dst;
-  if (visiting_.count(dst) > 0) {
+  if (visiting_.contains(dst)) {
     ++stats_.delivered;
     node_.send_ip_on(local_iface_, std::move(inner), dst);
     return;
   }
   // Not here (stale cache at the home MSR): re-resolve from scratch.
-  if (campus_hosts_.count(dst) > 0 || serving_cache_.count(dst) > 0) {
+  if (campus_hosts_.contains(dst) || serving_cache_.contains(dst)) {
     serving_cache_.erase(dst);
     discover_and_hold(dst, std::move(inner));
   }
@@ -195,7 +195,7 @@ void Msr::on_udp(const net::UdpDatagram& datagram,
   }
   switch (m.op) {
     case MsrOp::kWhoServes: {
-      if (visiting_.count(m.mobile_host) == 0) return;
+      if (!visiting_.contains(m.mobile_host)) return;
       ++stats_.queries_answered;
       MsrMessage reply;
       reply.op = MsrOp::kIServe;

@@ -70,7 +70,7 @@ class Msr {
   void attach_visitor(net::IpAddress mobile_host);
   void detach_visitor(net::IpAddress mobile_host);
   [[nodiscard]] bool is_visiting(net::IpAddress mobile_host) const {
-    return visiting_.count(mobile_host) > 0;
+    return visiting_.contains(mobile_host);
   }
 
   /// A campus host moved out of campus entirely: all its packets tunnel

@@ -43,7 +43,7 @@ node::Intercept BaseStation::on_local(Packet& packet, net::Interface& in) {
   }
   const IpAddress next = view.route[view.pointer_index];
 
-  if (known_mobiles_.count(next) > 0 && visiting_.count(next) == 0) {
+  if (known_mobiles_.contains(next) && !visiting_.contains(next)) {
     // A correspondent is still using a recorded route through us for a
     // mobile host that moved away.
     ++stats_.unreachable_returned;
@@ -59,7 +59,7 @@ node::Intercept BaseStation::on_local(Packet& packet, net::Interface& in) {
   *option = net::make_lsrr_option(view.route, view.pointer_index);
   packet.header().dst = next;
 
-  if (visiting_.count(next) > 0) {
+  if (visiting_.contains(next)) {
     ++stats_.relayed_inbound;
     node_.send_ip_on(local_iface_, std::move(packet), next);
   } else {

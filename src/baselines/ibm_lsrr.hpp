@@ -36,7 +36,7 @@ class BaseStation {
   void add_visitor(net::IpAddress mobile_host);
   void remove_visitor(net::IpAddress mobile_host);
   [[nodiscard]] bool is_visiting(net::IpAddress mobile_host) const {
-    return visiting_.count(mobile_host) > 0;
+    return visiting_.contains(mobile_host);
   }
   /// Addresses known to be mobile hosts (visiting or not); packets
   /// source-routed to a known-but-absent mobile host get "host
@@ -99,7 +99,7 @@ class IbmCorrespondent {
             std::vector<std::uint8_t> data);
 
   [[nodiscard]] bool has_route_to(net::IpAddress dst) const {
-    return reverse_routes_.count(dst) > 0;
+    return reverse_routes_.contains(dst);
   }
 
  private:

@@ -77,7 +77,7 @@ class VipRouter {
 
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
   [[nodiscard]] bool has_cached(net::IpAddress vip) const {
-    return cache_.count(vip) > 0;
+    return cache_.contains(vip);
   }
 
   struct Stats {

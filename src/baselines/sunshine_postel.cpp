@@ -108,7 +108,7 @@ node::Intercept SpForwarder::on_local(Packet& packet, net::Interface& in) {
     return node::Intercept::kContinue;  // route exhausted: really for us
   }
   const IpAddress next = view.route[view.pointer_index];
-  if (visiting_.count(next) == 0) {
+  if (!visiting_.contains(next)) {
     // The host moved away: tell the sender, who will re-query the global
     // database and retransmit (IEN 135 behavior).
     ++stats_.unreachable_returned;

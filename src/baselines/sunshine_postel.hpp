@@ -64,7 +64,7 @@ class SpForwarder {
   void add_visitor(net::IpAddress mobile_host);
   void remove_visitor(net::IpAddress mobile_host);
   [[nodiscard]] bool is_visiting(net::IpAddress mobile_host) const {
-    return visiting_.count(mobile_host) > 0;
+    return visiting_.contains(mobile_host);
   }
 
   struct Stats {

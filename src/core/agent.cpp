@@ -328,7 +328,7 @@ void MhrpAgent::on_mhrp_packet(Packet& packet, net::Interface& in) {
     return;
   }
 
-  if (config_.foreign_agent && visiting_.count(h.mobile_host) > 0) {
+  if (config_.foreign_agent && visiting_.contains(h.mobile_host)) {
     deliver_to_visitor(std::move(packet));
     return;
   }
@@ -336,7 +336,7 @@ void MhrpAgent::on_mhrp_packet(Packet& packet, net::Interface& in) {
   // A combined home+foreign agent may receive tunnels addressed to
   // itself for hosts it is the *home* agent of (e.g. stale caches that
   // recorded this node while the host visited here).
-  if (config_.home_agent && home_db_.count(h.mobile_host) > 0) {
+  if (config_.home_agent && home_db_.contains(h.mobile_host)) {
     home_handle_tunneled(packet);
     return;
   }
@@ -430,7 +430,7 @@ void MhrpAgent::handle_location_update(const net::IcmpLocationUpdate& update) {
   // record of lost its state; restore the visitor.
   if (config_.foreign_agent && !update.invalidate &&
       node_.owns_address(update.foreign_agent)) {
-    if (visiting_.count(update.mobile_host) == 0 && !served_.empty()) {
+    if (!visiting_.contains(update.mobile_host) && !served_.empty()) {
       net::Interface* iface = served_.front();
       if (config_.verify_recovery_with_arp) {
         // Elicit a reply from the mobile host before believing the home
@@ -444,7 +444,7 @@ void MhrpAgent::handle_location_update(const net::IcmpLocationUpdate& update) {
         node_.sim().after(sim::millis(300), [this, iface,
                                              mh = update.mobile_host] {
           if (node_.arp_table(*iface).lookup(mh).has_value() &&
-              visiting_.count(mh) == 0) {
+              !visiting_.contains(mh)) {
             visiting_[mh] = Visitor{0, iface};
             ++stats_.recovery_readds;
           }
@@ -459,7 +459,7 @@ void MhrpAgent::handle_location_update(const net::IcmpLocationUpdate& update) {
   if (!config_.cache_agent) return;
   // A home agent is authoritative for its own mobile hosts; a cache
   // entry for one could only ever be redundant or stale.
-  if (config_.home_agent && home_db_.count(update.mobile_host) > 0) return;
+  if (config_.home_agent && home_db_.contains(update.mobile_host)) return;
   if (update.invalidate || update.foreign_agent.is_unspecified()) {
     cache_.invalidate(update.mobile_host);
   } else if (!node_.owns_address(update.foreign_agent)) {

@@ -166,7 +166,7 @@ class MhrpAgent {
   // ---- Foreign agent ----
 
   [[nodiscard]] bool is_visiting(net::IpAddress mobile_host) const {
-    return visiting_.count(mobile_host) > 0;
+    return visiting_.contains(mobile_host);
   }
   [[nodiscard]] std::size_t visiting_count() const { return visiting_.size(); }
 

@@ -14,6 +14,10 @@
 
 #include "net/ip_address.hpp"
 
+namespace mhrp::analysis {
+class CacheInspector;  // audit-build structural checks (src/analysis/)
+}
+
 namespace mhrp::core {
 
 class LocationCache {
@@ -53,6 +57,10 @@ class LocationCache {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  // Grants the audit layer read access to the raw list/map so it can
+  // verify their coherence without widening the public interface.
+  friend class mhrp::analysis::CacheInspector;
+
   struct Entry {
     net::IpAddress mobile_host;
     net::IpAddress foreign_agent;

@@ -12,6 +12,7 @@ Link::Link(sim::Simulator& sim, std::string name, sim::Time latency,
       bandwidth_bps_(bandwidth_bps) {}
 
 Link::~Link() {
+  if (observer_ != nullptr) observer_->on_detached(*this);
   for (Interface* iface : members_) iface->link_ = nullptr;
 }
 
@@ -51,6 +52,7 @@ void Link::transmit(const Interface& from, Frame frame) {
   }
   ++frames_carried_;
   bytes_carried_ += frame.wire_size();
+  if (observer_ != nullptr) observer_->on_transmit(*this, frame, sim_.now());
   if (frame.is_ip()) {
     frame.packet().note_wire_crossing(frame.packet().wire_size());
   }

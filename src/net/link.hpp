@@ -16,6 +16,28 @@
 
 namespace mhrp::net {
 
+class Link;
+
+/// Observes every frame a Link actually carries (after the up/loss
+/// checks), at the moment of transmission. The audit layer
+/// (analysis::PacketAuditor) attaches through this to validate wire
+/// invariants at every hop; `now` is the simulated transmission time.
+class LinkObserver {
+ public:
+  LinkObserver() = default;
+  LinkObserver(const LinkObserver&) = default;
+  LinkObserver& operator=(const LinkObserver&) = default;
+  LinkObserver(LinkObserver&&) = default;
+  LinkObserver& operator=(LinkObserver&&) = default;
+  virtual ~LinkObserver() = default;
+  virtual void on_transmit(const Link& link, const Frame& frame,
+                           sim::Time now) = 0;
+  /// The link stopped observing through this observer — it was destroyed
+  /// or another observer replaced this one. `link` may be mid-destruction;
+  /// only its address may be used.
+  virtual void on_detached(Link& link) { (void)link; }
+};
+
 class Link {
  public:
   /// `bandwidth_bps` of 0 means infinite (no serialization delay).
@@ -53,6 +75,17 @@ class Link {
   /// the matching member(s) after the link delay.
   void transmit(const Interface& from, Frame frame);
 
+  /// Install (or, with nullptr, remove) the transmission observer. A
+  /// replaced observer, and the observer of a link being destroyed, get
+  /// an on_detached() callback, so observers never hold dangling links.
+  void set_observer(LinkObserver* observer) {
+    if (observer_ != nullptr && observer_ != observer) {
+      observer_->on_detached(*this);
+    }
+    observer_ = observer;
+  }
+  [[nodiscard]] LinkObserver* observer() const { return observer_; }
+
   // Traffic counters for metrics.
   [[nodiscard]] std::uint64_t frames_carried() const { return frames_carried_; }
   [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_carried_; }
@@ -67,6 +100,7 @@ class Link {
   std::vector<Interface*> members_;
   double loss_probability_ = 0.0;
   util::Rng* rng_ = nullptr;
+  LinkObserver* observer_ = nullptr;
   bool up_ = true;
   std::uint64_t frames_carried_ = 0;
   std::uint64_t bytes_carried_ = 0;

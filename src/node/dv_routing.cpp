@@ -124,7 +124,7 @@ void DistanceVector::on_update(const net::UdpDatagram& datagram,
       if (own->prefix() == prefix) connected = true;
     }
     if (connected || (prefix.is_host_route() &&
-                      host_routes_.count(prefix.address()) > 0)) {
+                      host_routes_.contains(prefix.address()))) {
       continue;
     }
 

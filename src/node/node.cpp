@@ -42,7 +42,7 @@ bool Node::owns_address(IpAddress addr) const {
   for (const auto& iface : interfaces_) {
     if (iface->ip() == addr) return true;
   }
-  return aliases_.count(addr) > 0;
+  return aliases_.contains(addr);
 }
 
 IpAddress Node::primary_address() const {
@@ -166,7 +166,7 @@ void Node::remove_proxy_arp(Interface& iface, IpAddress addr) {
 
 bool Node::has_proxy_arp(Interface& iface, IpAddress addr) const {
   auto it = iface_state_.find(&iface);
-  return it != iface_state_.end() && it->second.proxied.count(addr) > 0;
+  return it != iface_state_.end() && it->second.proxied.contains(addr);
 }
 
 void Node::send_gratuitous_arp(Interface& iface, IpAddress ip,
@@ -204,8 +204,8 @@ void Node::handle_arp(Interface& iface, const net::ArpMessage& msg) {
     // Answer for the interface's own address, any alias this node holds
     // (e.g. a mobile host's temporary address), or proxied addresses.
     const bool mine = iface.ip() == msg.target_ip ||
-                      aliases_.count(msg.target_ip) > 0;
-    const bool proxied = st.proxied.count(msg.target_ip) > 0;
+                      aliases_.contains(msg.target_ip);
+    const bool proxied = st.proxied.contains(msg.target_ip);
     if (mine || proxied) {
       net::ArpMessage reply;
       reply.op = net::ArpMessage::Op::kReply;
@@ -290,7 +290,7 @@ void Node::handle_ip(Interface& iface, Packet packet) {
   const IpAddress dst = packet.header().dst;
   const bool local = owns_address(dst) || dst.is_broadcast() ||
                      dst == iface.prefix().broadcast() ||
-                     (dst.is_multicast() && multicast_groups_.count(dst) > 0);
+                     (dst.is_multicast() && multicast_groups_.contains(dst));
   if (local) {
     deliver_local(packet, iface);
     return;

@@ -1,0 +1,56 @@
+#include "scenario/audit_hooks.hpp"
+
+#include "scenario/figure1.hpp"
+#include "scenario/mhrp_world.hpp"
+#include "scenario/topology.hpp"
+
+namespace mhrp::scenario::audit {
+
+void attach(analysis::PacketAuditor& auditor, Topology& topo) {
+  for (const auto& link : topo.links()) auditor.attach_link(*link);
+}
+
+void attach(analysis::PacketAuditor& auditor, Figure1& world) {
+  attach(auditor, world.topo);
+  if (world.agent_r1) auditor.watch_cache(world.agent_r1->cache(), "R1 cache");
+  if (world.ha) auditor.watch_cache(world.ha->cache(), "R2/HA cache");
+  if (world.fa_r4) auditor.watch_cache(world.fa_r4->cache(), "R4/FA cache");
+  if (world.fa_r5) auditor.watch_cache(world.fa_r5->cache(), "R5/FA cache");
+  if (world.agent_s) auditor.watch_cache(world.agent_s->cache(), "S cache");
+}
+
+void attach(analysis::PacketAuditor& auditor, MhrpWorld& world) {
+  attach(auditor, world.topo);
+  if (world.ha) auditor.watch_cache(world.ha->cache(), "HA cache");
+  for (std::size_t i = 0; i < world.fas.size(); ++i) {
+    auditor.watch_cache(world.fas[i]->cache(),
+                        "FA" + std::to_string(i) + " cache");
+  }
+  for (std::size_t i = 0; i < world.corr_agents.size(); ++i) {
+    auditor.watch_cache(world.corr_agents[i]->cache(),
+                        "C" + std::to_string(i) + " cache");
+  }
+}
+
+bool audit_build() {
+#ifdef MHRP_AUDIT
+  return true;
+#else
+  return false;
+#endif
+}
+
+analysis::PacketAuditor& global_auditor() {
+  static analysis::PacketAuditor auditor;
+  return auditor;
+}
+
+void auto_attach(Topology& topo) {
+#ifdef MHRP_AUDIT
+  attach(global_auditor(), topo);
+#else
+  (void)topo;
+#endif
+}
+
+}  // namespace mhrp::scenario::audit

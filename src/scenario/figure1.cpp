@@ -1,5 +1,7 @@
 #include "scenario/figure1.hpp"
 
+#include "scenario/audit_hooks.hpp"
+
 namespace mhrp::scenario {
 
 namespace {
@@ -91,6 +93,8 @@ Figure1::Figure1(Figure1Options options) {
     ca_config.update_min_interval = options.update_min_interval;
     agent_s = std::make_unique<core::MhrpAgent>(*s, ca_config);
   }
+
+  audit::auto_attach(topo);
 }
 
 bool Figure1::move_and_register(net::Link& cell, sim::Time limit) {

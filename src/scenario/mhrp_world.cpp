@@ -1,5 +1,7 @@
 #include "scenario/mhrp_world.hpp"
 
+#include "scenario/audit_hooks.hpp"
+
 namespace mhrp::scenario {
 
 MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
@@ -98,6 +100,8 @@ MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
       corr_agents.push_back(std::make_unique<core::MhrpAgent>(*host, ca_config));
     }
   }
+
+  audit::auto_attach(topo);
 }
 
 bool MhrpWorld::move_and_register(int i, int site, sim::Time limit) {

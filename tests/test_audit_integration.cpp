@@ -1,0 +1,106 @@
+// End-to-end audit runs: the paper's walkthrough scenarios execute under
+// the full wire-invariant auditor and must produce zero violations, with
+// real tunneled traffic observed at every hop.
+#include <gtest/gtest.h>
+
+#include "analysis/packet_auditor.hpp"
+#include "scenario/audit_hooks.hpp"
+#include "scenario/figure1.hpp"
+#include "scenario/mhrp_world.hpp"
+#include "scenario/workload.hpp"
+
+namespace mhrp {
+namespace {
+
+using analysis::PacketAuditor;
+using scenario::Figure1;
+using scenario::MhrpWorld;
+using scenario::MhrpWorldOptions;
+
+bool ping_once(Figure1& w) {
+  bool replied = false;
+  w.s->ping(w.m_address(),
+            [&](const node::Host::PingResult& r) { replied = r.replied; });
+  w.topo.sim().run_for(sim::seconds(10));
+  return replied;
+}
+
+TEST(AuditIntegration, Figure1WalkthroughsRunCleanUnderFullAudit) {
+  Figure1 w;
+  PacketAuditor auditor;
+  scenario::audit::attach(auditor, w);
+
+  // §6.1: first packet — home-agent interception and a 12-octet tunnel.
+  ASSERT_TRUE(w.register_at_d());
+  EXPECT_TRUE(ping_once(w));
+  // §6.2: S now builds the 8-octet header itself.
+  EXPECT_TRUE(ping_once(w));
+  // §6.3: movement — R4 keeps a forwarding pointer and re-tunnels (the
+  // list-growth path), then R5 repairs the stale caches.
+  ASSERT_TRUE(w.register_at_e());
+  EXPECT_TRUE(ping_once(w));
+  EXPECT_TRUE(ping_once(w));
+  // §6.3 return home: cache entries are deleted, traffic flows plainly.
+  ASSERT_TRUE(w.register_at_home());
+  EXPECT_TRUE(ping_once(w));
+
+  auditor.audit_caches(w.topo.sim().now());
+
+  const analysis::AuditReport& report = auditor.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GT(report.frames_audited, 0u);
+  EXPECT_GT(report.packets_audited, 0u);
+  EXPECT_GT(report.mhrp_packets_audited, 0u);  // tunnels really were seen
+  EXPECT_GT(report.cache_audits, 0u);
+}
+
+TEST(AuditIntegration, RoamingWorldWithOverflowRunsCleanUnderFullAudit) {
+  // A tighter list bound plus continuous movement exercises re-tunnel
+  // chains and the §4.4 overflow flush while the auditor watches.
+  MhrpWorldOptions options;
+  options.foreign_sites = 4;
+  options.max_list_length = 2;
+  MhrpWorld w(options);
+  PacketAuditor auditor;
+  scenario::audit::attach(auditor, w);
+
+  ASSERT_TRUE(w.move_and_register(0, 0));
+  scenario::CbrFlow flow(*w.correspondents[0], w.mobile_address(0),
+                         /*dst_port=*/7777, /*payload_size=*/64,
+                         sim::millis(50));
+  flow.start();
+  for (int site = 1; site < 8; ++site) {
+    w.topo.sim().run_for(sim::millis(400));
+    ASSERT_TRUE(w.move_and_register(0, site % options.foreign_sites));
+  }
+  w.topo.sim().run_for(sim::seconds(2));
+  flow.stop();
+  auditor.audit_caches(w.topo.sim().now());
+
+  const analysis::AuditReport& report = auditor.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GT(report.mhrp_packets_audited, 0u);
+}
+
+TEST(AuditIntegration, AuditBuildAutoAttachesGlobalAuditor) {
+  // In a -DMHRP_AUDIT=ON build every scenario topology is observed by the
+  // process-global auditor; it must agree that traffic is clean. In other
+  // builds auto-attach is a no-op by design.
+  const std::uint64_t frames_before =
+      scenario::audit::global_auditor().report().frames_audited;
+  Figure1 w;
+  ASSERT_TRUE(w.register_at_d());
+  EXPECT_TRUE(ping_once(w));
+
+  const analysis::AuditReport& report =
+      scenario::audit::global_auditor().report();
+  if (scenario::audit::audit_build()) {
+    EXPECT_GT(report.frames_audited, frames_before);
+    EXPECT_TRUE(report.clean()) << report.to_string();
+  } else {
+    EXPECT_EQ(report.frames_audited, frames_before);
+  }
+}
+
+}  // namespace
+}  // namespace mhrp

@@ -176,8 +176,12 @@ TEST(Icmp, CorruptChecksumThrows) {
 }
 
 TEST(Icmp, TypeOfMatchesWire) {
-  EXPECT_EQ(icmp_type_of(IcmpEcho{.is_request = true}), IcmpType::kEchoRequest);
-  EXPECT_EQ(icmp_type_of(IcmpEcho{.is_request = false}), IcmpType::kEchoReply);
+  IcmpEcho request;
+  request.is_request = true;
+  IcmpEcho reply;
+  reply.is_request = false;
+  EXPECT_EQ(icmp_type_of(request), IcmpType::kEchoRequest);
+  EXPECT_EQ(icmp_type_of(reply), IcmpType::kEchoReply);
   EXPECT_EQ(icmp_type_of(IcmpLocationUpdate{}), IcmpType::kLocationUpdate);
 }
 
