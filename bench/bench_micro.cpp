@@ -6,6 +6,7 @@
 
 #include "core/encapsulation.hpp"
 #include "core/location_cache.hpp"
+#include "legacy_event_queue.hpp"
 #include "net/packet.hpp"
 #include "net/udp.hpp"
 #include "sim/event_queue.hpp"
@@ -131,8 +132,14 @@ void BM_LocationCacheUpdateWithEviction(benchmark::State& state) {
 }
 BENCHMARK(BM_LocationCacheUpdateWithEviction);
 
-void BM_EventQueueScheduleAndPop(benchmark::State& state) {
-  sim::EventQueue q;
+// The slab queue (src/sim) vs the shared_ptr-handle queue it replaced
+// (bench/legacy_event_queue.hpp), over the two hot patterns: schedule
+// then pop (pure throughput) and schedule then cancel (the timer-churn
+// pattern — every retransmit timer that is armed and then disarmed).
+
+template <typename Queue>
+void schedule_pop_loop(benchmark::State& state) {
+  Queue q;
   sim::Time t = 0;
   for (auto _ : state) {
     for (int i = 0; i < 16; ++i) {
@@ -141,9 +148,46 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
     while (!q.empty()) {
       benchmark::DoNotOptimize(q.pop());
     }
-    ++t;
+    t += 100;
   }
 }
+
+template <typename Queue>
+void schedule_cancel_loop(benchmark::State& state) {
+  Queue q;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    // One survivor past every cancelled event, so the single pop below
+    // drains the round's tombstones from the heap.
+    auto keep = q.schedule(t + 1000, [] {});
+    for (int i = 0; i < 16; ++i) {
+      auto h = q.schedule(t + (i * 7919) % 100, [] {});
+      benchmark::DoNotOptimize(q.cancel(h));
+    }
+    (void)keep;
+    benchmark::DoNotOptimize(q.pop());
+    t += 10000;
+  }
+}
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  schedule_pop_loop<sim::EventQueue>(state);
+}
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_LegacyEventQueueScheduleAndPop(benchmark::State& state) {
+  schedule_pop_loop<bench::legacy::EventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueScheduleAndPop);
+
+void BM_EventQueueScheduleAndCancel(benchmark::State& state) {
+  schedule_cancel_loop<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueScheduleAndCancel);
+
+void BM_LegacyEventQueueScheduleAndCancel(benchmark::State& state) {
+  schedule_cancel_loop<bench::legacy::EventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueScheduleAndCancel);
 
 }  // namespace

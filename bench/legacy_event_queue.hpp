@@ -1,0 +1,106 @@
+// The pre-slab event queue, preserved verbatim (renamed into
+// `mhrp::bench::legacy`) as the baseline the event-queue benchmarks
+// compare against. Every schedule() allocated a shared_ptr<bool> control
+// block and every handle held a weak_ptr to it; the slab queue in
+// src/sim/event_queue.hpp replaced that with {slot, generation} handles
+// into recycled storage. bench_micro and bench_scalability report the
+// throughput ratio between the two.
+//
+// Benchmark-only code: nothing under src/ may include this header.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mhrp::bench::legacy {
+
+/// Opaque handle identifying a scheduled event so it can be cancelled.
+/// Default-constructed handles refer to no event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True when the handle refers to an event that has neither fired nor
+  /// been cancelled.
+  [[nodiscard]] bool pending() const {
+    auto s = state_.lock();
+    return s && !*s;
+  }
+
+  [[nodiscard]] bool valid() const { return !state_.expired(); }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::weak_ptr<bool> state_;  // *state == true means cancelled
+};
+
+/// Min-heap of (time, sequence) ordered events. Cancellation is O(1):
+/// the entry is flagged and skipped at pop time.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventHandle schedule(sim::Time when, Action action) {
+    auto cancelled = std::make_shared<bool>(false);
+    heap_.push(Entry{when, next_seq_++, std::move(action), cancelled});
+    ++live_;
+    return EventHandle(std::move(cancelled));
+  }
+
+  bool cancel(const EventHandle& handle) {
+    auto s = handle.state_.lock();
+    if (!s || *s) return false;
+    *s = true;
+    --live_;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  [[nodiscard]] sim::Time next_time() {
+    drop_cancelled();
+    return heap_.top().when;
+  }
+
+  std::pair<sim::Time, Action> pop() {
+    drop_cancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    *top.cancelled = true;  // mark fired so handles report non-pending
+    return {top.when, std::move(top.action)};
+  }
+
+ private:
+  struct Entry {
+    sim::Time when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> cancelled;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mhrp::bench::legacy

@@ -147,8 +147,9 @@ void PacketAuditor::check_round_trip(const net::Packet& packet, sim::Time now,
                                      const std::string& where) {
   if (!registry_.enabled(InvariantId::kIpHeaderRoundTrip)) return;
   try {
-    const std::vector<std::uint8_t> wire = packet.serialize();
-    const net::Packet reparsed = net::Packet::deserialize(wire);
+    scratch_.clear();  // reuse one buffer across the whole audit run
+    packet.serialize_into(scratch_);
+    const net::Packet reparsed = net::Packet::deserialize(scratch_.view());
     if (!(reparsed.header() == packet.header()) ||
         reparsed.payload() != packet.payload()) {
       violate(InvariantId::kIpHeaderRoundTrip, packet, now, where,

@@ -23,6 +23,7 @@
 #include "core/location_cache.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "util/byte_buffer.hpp"
 
 namespace mhrp::analysis {
 
@@ -100,6 +101,7 @@ class PacketAuditor final : public net::LinkObserver {
 
   InvariantRegistry registry_;
   AuditReport report_;
+  util::ByteWriter scratch_;  // reused per-packet serialize buffer
   std::unordered_map<std::uint64_t, PathState> paths_;
   std::vector<net::Link*> links_;
   std::vector<std::pair<const core::LocationCache*, std::string>> caches_;

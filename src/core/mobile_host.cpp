@@ -60,6 +60,7 @@ void MobileHost::attach_to(net::Link& link) {
   }
   current_agent_ = net::kUnspecified;
   link.attach(*radio_);
+  if (on_attached) on_attached();
   start_discovery();
 }
 

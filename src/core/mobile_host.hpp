@@ -112,6 +112,11 @@ class MobileHost : public node::Host {
   /// or kForeign).
   std::function<void()> on_registered;
 
+  /// Fired at the instant attach_to() switches cells, before discovery
+  /// starts — the "radio heard the new transceiver" moment a handoff
+  /// latency measurement starts from (scenario::ScaleWorld uses this).
+  std::function<void()> on_attached;
+
  private:
   struct Outstanding {
     RegMessage message;

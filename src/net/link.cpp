@@ -64,9 +64,22 @@ void Link::transmit(const Interface& from, Frame frame) {
   // advertisement from the cell it just left and register with an
   // unreachable agent.
   if (frame.dst.is_broadcast()) {
-    for (Interface* member : members_) {
+    // Every other member gets its own copy of the frame, except the last
+    // recipient, which takes the original by move — on a two-member
+    // segment (every point-to-point circuit) broadcast then copies
+    // nothing at all.
+    std::size_t last = members_.size();
+    for (std::size_t i = members_.size(); i-- > 0;) {
+      if (members_[i] != &from) {
+        last = i;
+        break;
+      }
+    }
+    if (last == members_.size()) return;  // nobody else to hear it
+    for (std::size_t i = 0; i <= last; ++i) {
+      Interface* member = members_[i];
       if (member == &from) continue;
-      Frame copy = frame;
+      Frame copy = i == last ? std::move(frame) : frame;
       sim_.after(delay, [this, member, copy = std::move(copy)]() mutable {
         if (has_member(*member)) member->deliver(std::move(copy));
       });

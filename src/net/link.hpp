@@ -60,10 +60,17 @@ class Link {
     return members_;
   }
 
-  /// Independent per-frame drop probability; `rng` must outlive the link.
-  void set_loss(double probability, util::Rng* rng) {
+  /// Independent per-frame drop probability, drawn from `rng`, which must
+  /// outlive this link (or be cleared with clear_loss() first).
+  void set_loss(double probability, util::Rng& rng) {
     loss_probability_ = probability;
-    rng_ = rng;
+    rng_ = &rng;
+  }
+
+  /// Remove the loss model (and the link's reference to its RNG).
+  void clear_loss() {
+    loss_probability_ = 0.0;
+    rng_ = nullptr;
   }
 
   /// Administratively disable/enable the link (models a down circuit,

@@ -1,5 +1,7 @@
 #include "net/packet.hpp"
 
+#include <algorithm>
+
 #include "util/checksum.hpp"
 
 namespace mhrp::net {
@@ -11,8 +13,23 @@ std::uint64_t Packet::next_id() {
 
 std::vector<std::uint8_t> Packet::serialize() const {
   util::ByteWriter w(wire_size());
+  serialize_into(w);
+  return w.take();
+}
+
+void Packet::serialize_into(util::ByteWriter& w) const {
   header_.encode(w, payload_.size());
   w.bytes(payload_);
+}
+
+std::vector<std::uint8_t> Packet::serialize_prefix(std::size_t max_bytes) const {
+  util::ByteWriter w(std::min(max_bytes, wire_size()));
+  header_.encode(w, payload_.size());
+  if (w.size() < max_bytes) {
+    const std::size_t room = max_bytes - w.size();
+    w.bytes(std::span(payload_).first(std::min(payload_.size(), room)));
+  }
+  w.truncate(max_bytes);  // header alone may exceed a tiny limit
   return w.take();
 }
 

@@ -36,6 +36,18 @@ class Packet {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
+  /// Append the full wire encoding to `w` (which callers may reuse across
+  /// packets to amortize buffer allocations).
+  void serialize_into(util::ByteWriter& w) const;
+
+  /// The first min(max_bytes, wire_size()) octets of the wire encoding,
+  /// without materializing the rest — what an ICMP error quotes when the
+  /// node's quote limit is shorter than the datagram. The header still
+  /// records the original total length, exactly as a truncated quote of
+  /// the real datagram would.
+  [[nodiscard]] std::vector<std::uint8_t> serialize_prefix(
+      std::size_t max_bytes) const;
+
   /// Parse a datagram, validating version, lengths, and header checksum.
   static Packet deserialize(std::span<const std::uint8_t> wire);
 

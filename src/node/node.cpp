@@ -436,10 +436,9 @@ void Node::send_icmp_error(const Packet& offending,
     if (type == 3 || type == 5 || type == 11 || type == 12) return;
   }
 
-  std::vector<std::uint8_t> quoted = offending.serialize();
-  if (icmp_quote_limit_ != 0 && quoted.size() > icmp_quote_limit_) {
-    quoted.resize(icmp_quote_limit_);
-  }
+  std::vector<std::uint8_t> quoted =
+      icmp_quote_limit_ == 0 ? offending.serialize()
+                             : offending.serialize_prefix(icmp_quote_limit_);
 
   IcmpMessage msg = prototype;
   std::visit(

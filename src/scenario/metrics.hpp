@@ -27,7 +27,9 @@ struct Distribution {
     if (v < min) min = v;
     if (v > max) max = v;
   }
-  [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / count; }
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
 };
 
 struct FlowStats {

@@ -1,0 +1,27 @@
+#include "scenario/replay_digest.hpp"
+
+#include <sstream>
+
+#include "scenario/topology.hpp"
+
+namespace mhrp::scenario {
+
+std::string topology_digest(const Topology& topo) {
+  std::ostringstream out;
+  for (const auto& node : topo.nodes()) {
+    const node::Node::Counters& c = node->counters();
+    out << "node " << node->name() << " sent=" << c.ip_sent
+        << " recv=" << c.ip_received << " local=" << c.delivered_local
+        << " fwd=" << c.forwarded << " noroute=" << c.dropped_no_route
+        << " ttl=" << c.dropped_ttl << " arp=" << c.dropped_arp_timeout
+        << " icmperr=" << c.icmp_errors_sent
+        << " slow=" << c.options_slow_path << "\n";
+  }
+  for (const auto& link : topo.links()) {
+    out << "link " << link->name() << " frames=" << link->frames_carried()
+        << " bytes=" << link->bytes_carried() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mhrp::scenario

@@ -1,0 +1,22 @@
+// Deterministic run digests for the replay regression tests.
+//
+// A digest is a textual rendering of everything externally observable
+// about a finished run — per-node counters, per-link traffic totals, and
+// (for worlds that expose them) agent statistics. Two runs of the same
+// seeded scenario must produce byte-identical digests; the
+// deterministic-replay tests assert that to guard the event-queue and
+// packet-path hot-path code against ordering drift. Digests deliberately
+// exclude process-global identifiers (packet ids, flow ids, MAC
+// addresses), which differ between two worlds built in one process.
+#pragma once
+
+#include <string>
+
+namespace mhrp::scenario {
+
+class Topology;
+
+/// Node counters and link totals of `topo`, in construction order.
+[[nodiscard]] std::string topology_digest(const Topology& topo);
+
+}  // namespace mhrp::scenario

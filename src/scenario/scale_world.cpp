@@ -1,0 +1,293 @@
+#include "scenario/scale_world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/audit_hooks.hpp"
+#include "scenario/replay_digest.hpp"
+
+namespace mhrp::scenario {
+
+namespace {
+
+// Address plan (all disjoint):
+//   10.1.0.0/16      home LAN; HA is 10.1.0.1, mobiles from 10.1.1.0
+//   10.200.0.0/24    correspondent LAN on the last router
+//   172.16.0.0/16    backbone point-to-point /30s, one per link
+//   192.168.j.0/24   wireless cell of foreign site j; FA is .1
+constexpr std::uint32_t kHomeLanBase = 0x0A010000;    // 10.1.0.0
+constexpr std::uint32_t kMobileBase = 0x0A010100;     // 10.1.1.0
+constexpr std::uint32_t kCorrLanBase = 0x0AC80000;    // 10.200.0.0
+constexpr std::uint32_t kBackboneBase = 0xAC100000;   // 172.16.0.0
+constexpr std::uint32_t kCellBase = 0xC0A80000;       // 192.168.0.0
+
+ScaleWorldOptions validate(ScaleWorldOptions o) {
+  if (o.routers < 2) throw std::invalid_argument("ScaleWorld: routers < 2");
+  if (o.foreign_agents < 1 || o.foreign_agents > std::min(o.routers - 1, 250)) {
+    throw std::invalid_argument("ScaleWorld: foreign_agents out of range");
+  }
+  if (o.mobile_hosts < 0 || o.mobile_hosts > 60000) {
+    throw std::invalid_argument("ScaleWorld: mobile_hosts out of range");
+  }
+  if (o.correspondents < 1 || o.correspondents > 200) {
+    throw std::invalid_argument("ScaleWorld: correspondents out of range");
+  }
+  return o;
+}
+
+}  // namespace
+
+ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
+    : topo(opts.seed), options(validate(opts)) {
+  const int n = options.routers;
+
+  routers.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    routers.push_back(&topo.add_router("R" + std::to_string(r)));
+  }
+  home_router = routers.front();
+
+  // Backbone: point-to-point /30 circuits between adjacent routers.
+  int link_no = 0;
+  auto connect_pair = [&](int a, int b) {
+    auto& link = topo.add_link("bb" + std::to_string(link_no),
+                               options.link_latency);
+    const std::uint32_t subnet =
+        kBackboneBase + static_cast<std::uint32_t>(link_no) * 4;
+    topo.connect(*routers[static_cast<std::size_t>(a)], link,
+                 net::IpAddress(subnet + 1), 30);
+    topo.connect(*routers[static_cast<std::size_t>(b)], link,
+                 net::IpAddress(subnet + 2), 30);
+    ++link_no;
+  };
+  if (options.backbone == ScaleWorldOptions::Backbone::kGrid) {
+    const int width =
+        static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+    for (int r = 0; r < n; ++r) {
+      if ((r + 1) % width != 0 && r + 1 < n) connect_pair(r, r + 1);
+      if (r + width < n) connect_pair(r, r + width);
+    }
+  } else {
+    for (int r = 1; r < n; ++r) connect_pair((r - 1) / 2, r);
+  }
+
+  // Home site on router 0.
+  home_lan = &topo.add_link("homeLan", options.link_latency);
+  net::Interface& ha_iface = topo.connect(
+      *home_router, *home_lan, net::IpAddress(kHomeLanBase + 1), 16);
+
+  // Correspondent site on the last router.
+  auto& corr_lan = topo.add_link("corrLan", options.link_latency);
+  topo.connect(*routers.back(), corr_lan, net::IpAddress(kCorrLanBase + 1),
+               24);
+  for (int c = 0; c < options.correspondents; ++c) {
+    auto& host = topo.add_host("C" + std::to_string(c));
+    topo.connect(host, corr_lan,
+                 net::IpAddress(kCorrLanBase + 10 + static_cast<std::uint32_t>(c)),
+                 24);
+    correspondents.push_back(&host);
+  }
+
+  // Foreign sites: F routers spread evenly over the backbone (router 0 is
+  // the home site and never hosts a foreign agent), each with a cell.
+  std::vector<net::Interface*> fa_cell_ifaces;
+  for (int j = 0; j < options.foreign_agents; ++j) {
+    const int idx = 1 + (j * (n - 1)) / options.foreign_agents;
+    node::Router& r = *routers[static_cast<std::size_t>(idx)];
+    auto& cell = topo.add_link("cell" + std::to_string(j),
+                               options.link_latency);
+    net::Interface& cell_iface = topo.connect(
+        r, cell,
+        net::IpAddress(kCellBase + static_cast<std::uint32_t>(j) * 256 + 1),
+        24);
+    fa_routers.push_back(&r);
+    cells.push_back(&cell);
+    fa_cell_ifaces.push_back(&cell_iface);
+  }
+
+  // Mobile hosts, homed on the home LAN, initially detached.
+  for (int i = 0; i < options.mobile_hosts; ++i) {
+    core::MobileHostConfig config;
+    config.home_agent = net::IpAddress(kHomeLanBase + 1);
+    config.update_min_interval = options.update_min_interval;
+    mobiles.push_back(&topo.add_mobile_host("M" + std::to_string(i),
+                                            mobile_address(i), 16, config));
+  }
+
+  topo.install_static_routes();
+
+  core::AgentConfig ha_config;
+  ha_config.home_agent = true;
+  ha_config.cache_agent = true;
+  ha_config.advertisement_period = options.advertisement_period;
+  ha_config.max_list_length = options.max_list_length;
+  ha_config.update_min_interval = options.update_min_interval;
+  ha = std::make_unique<core::MhrpAgent>(*home_router, ha_config);
+  ha->serve_on(ha_iface);
+  for (int i = 0; i < options.mobile_hosts; ++i) {
+    ha->provision_mobile_host(mobile_address(i));
+  }
+  ha->start_advertising();
+
+  for (int j = 0; j < options.foreign_agents; ++j) {
+    core::AgentConfig fa_config;
+    fa_config.foreign_agent = true;
+    fa_config.cache_agent = true;
+    fa_config.advertisement_period = options.advertisement_period;
+    fa_config.max_list_length = options.max_list_length;
+    fa_config.update_min_interval = options.update_min_interval;
+    auto agent = std::make_unique<core::MhrpAgent>(
+        *fa_routers[static_cast<std::size_t>(j)], fa_config);
+    agent->serve_on(*fa_cell_ifaces[static_cast<std::size_t>(j)]);
+    agent->start_advertising();
+    fas.push_back(std::move(agent));
+  }
+
+  // Correspondents cache locations for their own traffic (§2: any node
+  // talking to mobile hosts "should generally also function as a cache
+  // agent").
+  for (node::Host* host : correspondents) {
+    core::AgentConfig ca_config;
+    ca_config.cache_agent = true;
+    ca_config.update_min_interval = options.update_min_interval;
+    corr_agents.push_back(std::make_unique<core::MhrpAgent>(*host, ca_config));
+  }
+
+  audit::auto_attach(topo);
+}
+
+ScaleWorld::~ScaleWorld() = default;
+
+net::IpAddress ScaleWorld::mobile_address(int i) const {
+  return net::IpAddress(kMobileBase + static_cast<std::uint32_t>(i));
+}
+
+void ScaleWorld::start() {
+  if (started_) return;
+  started_ = true;
+
+  attach_times_.assign(mobiles.size(), sim::Time(-1));
+  for (std::size_t i = 0; i < mobiles.size(); ++i) {
+    core::MobileHost* m = mobiles[i];
+    m->on_attached = [this, i] { attach_times_[i] = topo.sim().now(); };
+    m->on_registered = [this, i] {
+      if (attach_times_[i] < 0) return;
+      handoff_latencies_.push_back(
+          sim::to_seconds(topo.sim().now() - attach_times_[i]));
+      attach_times_[i] = -1;
+    };
+
+    // Per-mobile movement, seeded from the world RNG in construction
+    // order (deterministic across identically-built worlds).
+    schedules_.push_back(std::make_unique<MovementSchedule>(
+        *m, std::vector<net::Link*>(cells.begin(), cells.end()),
+        options.mean_dwell, topo.rng().fork()));
+    recorders_.push_back(std::make_unique<FlowRecorder>(*m));
+
+    flows_.push_back(std::make_unique<CbrFlow>(
+        *correspondents[i % correspondents.size()], mobile_address(int(i)),
+        static_cast<std::uint16_t>(4000 + i % 1000), options.cbr_payload,
+        options.cbr_interval));
+  }
+
+  // Stagger starts across one advertisement period so a million-host
+  // world does not schedule every first move at the same instant.
+  const sim::Time spread =
+      std::max<sim::Time>(options.advertisement_period, 1);
+  for (std::size_t i = 0; i < mobiles.size(); ++i) {
+    const sim::Time offset =
+        spread * static_cast<sim::Time>(i) /
+        static_cast<sim::Time>(std::max<std::size_t>(mobiles.size(), 1));
+    topo.sim().after(offset, [this, i] {
+      schedules_[i]->start();
+      flows_[i]->start();
+    });
+  }
+}
+
+ScaleRunStats ScaleWorld::run_for(sim::Time duration) {
+  start();
+  events_executed_ += topo.sim().run_for(duration);
+
+  ScaleRunStats totals;
+  totals.events_executed = events_executed_;
+  for (const auto& link : topo.links()) {
+    totals.frames_carried += link->frames_carried();
+    totals.bytes_carried += link->bytes_carried();
+  }
+  for (std::size_t i = 0; i < mobiles.size(); ++i) {
+    totals.packets_delivered += recorders_[i]->total().received;
+    totals.moves += mobiles[i]->stats().moves;
+    totals.registrations += mobiles[i]->stats().registrations_completed;
+  }
+
+  ScaleRunStats delta;
+  delta.events_executed = totals.events_executed - last_totals_.events_executed;
+  delta.frames_carried = totals.frames_carried - last_totals_.frames_carried;
+  delta.bytes_carried = totals.bytes_carried - last_totals_.bytes_carried;
+  delta.packets_delivered =
+      totals.packets_delivered - last_totals_.packets_delivered;
+  delta.moves = totals.moves - last_totals_.moves;
+  delta.registrations = totals.registrations - last_totals_.registrations;
+  last_totals_ = totals;
+  return delta;
+}
+
+std::size_t ScaleWorld::total_agent_state() const {
+  std::size_t total = ha->home_database_size() + ha->cache().size();
+  for (const auto& fa : fas) total += fa->visiting_count() + fa->cache().size();
+  for (const auto& ca : corr_agents) total += ca->cache().size();
+  return total;
+}
+
+std::size_t ScaleWorld::busiest_node_state() const {
+  std::size_t busiest = ha->home_database_size() + ha->cache().size();
+  for (const auto& fa : fas) {
+    busiest = std::max(busiest, fa->visiting_count() + fa->cache().size());
+  }
+  for (const auto& ca : corr_agents) busiest = std::max(busiest, ca->cache().size());
+  return busiest;
+}
+
+std::string ScaleWorld::metrics_digest() const {
+  std::ostringstream out;
+  out << "scaleworld n=" << options.routers << " f=" << options.foreign_agents
+      << " m=" << options.mobile_hosts << " seed=" << options.seed
+      << " now=" << topo.sim().now() << " events=" << events_executed_ << "\n";
+  out << topology_digest(topo);
+
+  auto agent_line = [&out](const char* tag, const core::MhrpAgent& agent) {
+    const core::AgentStats& s = agent.stats();
+    out << tag << " reg=" << s.registrations << " tun=" << s.tunnels_built
+        << " retun=" << s.retunnels << " upd_tx=" << s.updates_sent
+        << " upd_rx=" << s.updates_received << " loops=" << s.loops_detected
+        << " deliv=" << s.delivered_to_visitor << "\n";
+  };
+  agent_line("ha", *ha);
+  for (const auto& fa : fas) agent_line("fa", *fa);
+  for (const auto& ca : corr_agents) agent_line("ca", *ca);
+
+  for (std::size_t i = 0; i < mobiles.size(); ++i) {
+    const core::MobileHostStats& s = mobiles[i]->stats();
+    out << "mobile " << i << " moves=" << s.moves
+        << " reg=" << s.registrations_completed
+        << " retx=" << s.registration_retransmits
+        << " tunneled=" << s.tunneled_received << " delivered="
+        << (i < recorders_.size() ? recorders_[i]->total().received : 0)
+        << "\n";
+  }
+
+  out << "handoffs n=" << handoff_latencies_.size();
+  char buf[32];
+  for (double v : handoff_latencies_) {
+    std::snprintf(buf, sizeof buf, " %.9e", v);
+    out << buf;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace mhrp::scenario

@@ -1,0 +1,124 @@
+// ScaleWorld: a seeded generator of large grid/tree internetworks with
+// MHRP fully installed, built to exercise Johnson's §3/§7 scalability
+// claims at populations far beyond the Figure-1 walkthrough: N backbone
+// routers, F foreign-agent sites (each with a wireless cell), M mobile
+// hosts roaming between cells on exponential dwell times, and a
+// constant-bit-rate UDP workload from correspondent hosts to every
+// mobile. Everything — topology shape, movement, traffic — is a pure
+// function of the seed, so two worlds built from the same options behave
+// byte-identically (the deterministic-replay regression test relies on
+// this, and it is what makes large-scale benchmark runs comparable).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "scenario/metrics.hpp"
+#include "scenario/topology.hpp"
+#include "scenario/workload.hpp"
+
+namespace mhrp::scenario {
+
+struct ScaleWorldOptions {
+  enum class Backbone {
+    kGrid,  // routers on a ceil(sqrt(N)) grid, links to right/down
+    kTree,  // binary tree rooted at the home router
+  };
+
+  Backbone backbone = Backbone::kGrid;
+  int routers = 16;         // N, >= 2 (router 0 is the home site)
+  int foreign_agents = 4;   // F, 1 <= F <= min(N - 1, 250)
+  int mobile_hosts = 8;     // M, <= 60000
+  int correspondents = 2;   // CBR senders, round-robin over mobiles
+  sim::Time link_latency = sim::millis(1);
+  sim::Time advertisement_period = sim::seconds(1);
+  sim::Time mean_dwell = sim::seconds(5);  // per-cell dwell (exponential)
+  sim::Time cbr_interval = sim::millis(200);
+  std::size_t cbr_payload = 64;
+  sim::Time update_min_interval = sim::millis(100);
+  std::size_t max_list_length = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Wall-clock-free results of one run_for() slice (all values are
+/// simulation-level counts; the bench layers wall timing on top).
+struct ScaleRunStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t frames_carried = 0;  // across every link
+  std::uint64_t bytes_carried = 0;
+  std::uint64_t packets_delivered = 0;  // CBR datagrams reaching a mobile
+  std::uint64_t moves = 0;
+  std::uint64_t registrations = 0;  // completed mobile registrations
+};
+
+class ScaleWorld {
+ public:
+  explicit ScaleWorld(ScaleWorldOptions options = ScaleWorldOptions());
+  ~ScaleWorld();
+
+  Topology topo;
+  ScaleWorldOptions options;
+
+  node::Router* home_router = nullptr;
+  net::Link* home_lan = nullptr;
+  std::vector<node::Router*> routers;     // all N backbone routers
+  std::vector<node::Router*> fa_routers;  // the F hosting foreign agents
+  std::vector<net::Link*> cells;
+  std::vector<core::MobileHost*> mobiles;
+  std::vector<node::Host*> correspondents;
+
+  std::unique_ptr<core::MhrpAgent> ha;
+  std::vector<std::unique_ptr<core::MhrpAgent>> fas;
+  std::vector<std::unique_ptr<core::MhrpAgent>> corr_agents;
+
+  [[nodiscard]] net::IpAddress mobile_address(int i) const;
+
+  /// Start roaming and traffic. Idempotent.
+  void start();
+
+  /// Advance the simulation by `duration` and return what happened in
+  /// that slice (deltas, not totals).
+  ScaleRunStats run_for(sim::Time duration);
+
+  /// Completed handoff latencies (seconds of simulated time from
+  /// attach_to() to registration-complete), in completion order.
+  [[nodiscard]] const std::vector<double>& handoff_latencies() const {
+    return handoff_latencies_;
+  }
+
+  /// Delivery statistics at the mobile hosts (per-flow and total).
+  [[nodiscard]] const FlowRecorder& recorder(int mobile) const {
+    return *recorders_[static_cast<std::size_t>(mobile)];
+  }
+  [[nodiscard]] std::uint64_t flow_id(int mobile) const {
+    return flows_[static_cast<std::size_t>(mobile)]->flow_id();
+  }
+
+  /// Total agent control state (HA database rows + FA visiting entries +
+  /// cache entries) — the §3 "scales linearly" quantity.
+  [[nodiscard]] std::size_t total_agent_state() const;
+  /// Control state at the busiest single node (§7: no node's burden grows
+  /// with the whole internetwork's mobile population).
+  [[nodiscard]] std::size_t busiest_node_state() const;
+
+  /// Deterministic textual digest of everything observable after a run:
+  /// node counters, link totals, agent stats, handoff latencies, and
+  /// delivery counts. Two same-seed worlds driven identically must
+  /// produce byte-identical digests (the replay regression test asserts
+  /// exactly that). Process-global identifiers (packet ids, flow ids,
+  /// MAC addresses) are deliberately excluded.
+  [[nodiscard]] std::string metrics_digest() const;
+
+ private:
+  std::vector<std::unique_ptr<CbrFlow>> flows_;
+  std::vector<std::unique_ptr<MovementSchedule>> schedules_;
+  std::vector<std::unique_ptr<FlowRecorder>> recorders_;
+  std::vector<sim::Time> attach_times_;  // per mobile, last attach_to()
+  std::vector<double> handoff_latencies_;
+  std::uint64_t events_executed_ = 0;
+  ScaleRunStats last_totals_;
+  bool started_ = false;
+};
+
+}  // namespace mhrp::scenario

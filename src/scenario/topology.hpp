@@ -28,6 +28,7 @@ class Topology {
   explicit Topology(std::uint64_t seed = 1) : rng_(seed) {}
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const sim::Simulator& sim() const { return sim_; }
   [[nodiscard]] util::Rng& rng() { return rng_; }
 
   // ---- Construction ----

@@ -3,62 +3,105 @@
 // Events that share a timestamp fire in the order they were scheduled
 // (FIFO by sequence number), which makes every simulation run exactly
 // reproducible — a property the integration and property tests rely on.
+//
+// Storage is a slab of event slots addressed by {slot index, generation}
+// handles. Scheduling an event allocates nothing beyond amortized vector
+// growth (the pre-slab design paid a shared_ptr control block per event):
+// the action lives in a slab slot that is recycled through a free list,
+// and the heap orders 24-byte POD entries. Cancellation is O(1): it bumps
+// the slot's generation, which orphans the heap entry; orphans are
+// skipped lazily at pop time. A handle whose generation no longer matches
+// its slot refers to an event that already fired or was cancelled — slot
+// reuse cannot resurrect it (short of 2^32 reuses of one slot between a
+// handle's creation and its last use, which no simulation approaches).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace mhrp::sim {
 
-/// Opaque handle identifying a scheduled event so it can be cancelled.
-/// Default-constructed handles refer to no event.
+class EventQueue;
+
+/// Opaque handle identifying a scheduled event so it can be cancelled or
+/// queried. Default-constructed handles refer to no event. Handles are
+/// trivially copyable and never dangle into freed memory, but they hold a
+/// pointer to their queue: using a non-default handle after its queue is
+/// destroyed is undefined.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True when the handle refers to an event that has neither fired nor
   /// been cancelled.
-  [[nodiscard]] bool pending() const {
-    auto s = state_.lock();
-    return s && !*s;
-  }
+  [[nodiscard]] bool pending() const;
 
-  [[nodiscard]] bool valid() const { return !state_.expired(); }
+  /// True when the handle was obtained from a schedule() call (i.e. it
+  /// identifies some event, pending or not); default handles are invalid.
+  [[nodiscard]] bool valid() const { return queue_ != nullptr; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
-  std::weak_ptr<bool> state_;  // *state == true means cancelled
+  EventHandle(const EventQueue* queue, std::uint32_t slot,
+              std::uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  const EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
-/// Min-heap of (time, sequence) ordered events. Cancellation is O(1):
-/// the entry is flagged and skipped at pop time.
+/// Min-heap of (time, sequence) ordered events over a slab of action
+/// slots. Cancellation is O(1); cancelled heap entries are dropped lazily.
 class EventQueue {
  public:
   using Action = std::function<void()>;
 
+  EventQueue() = default;
+  // Handles point at their queue, so the queue must not move or be copied.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Schedule `action` at absolute time `when`. Times may not decrease
   /// relative to already-popped events; the Simulator enforces that.
   EventHandle schedule(Time when, Action action) {
-    auto cancelled = std::make_shared<bool>(false);
-    heap_.push(Entry{when, next_seq_++, std::move(action), cancelled});
+    std::uint32_t slot;
+    if (free_head_ != kNoSlot) {
+      slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.action = std::move(action);
+    s.live = true;
+    heap_.push_back(HeapItem{when, next_seq_++, slot, s.generation});
+    sift_up(heap_.size() - 1);
     ++live_;
-    return EventHandle(std::move(cancelled));
+    return EventHandle(this, slot, s.generation);
   }
 
   /// Cancel a pending event. Returns true when the event was pending and
-  /// is now cancelled; false when it already fired or was cancelled.
+  /// is now cancelled; false when it already fired or was cancelled, or
+  /// when the handle is default-constructed / from another queue.
   bool cancel(const EventHandle& handle) {
-    auto s = handle.state_.lock();
-    if (!s || *s) return false;
-    *s = true;
+    if (!pending(handle)) return false;
+    release(handle.slot_);
     --live_;
     return true;
+  }
+
+  /// True when `handle` names an event of this queue that has neither
+  /// fired nor been cancelled.
+  [[nodiscard]] bool pending(const EventHandle& handle) const {
+    if (handle.queue_ != this) return false;
+    const Slot& s = slots_[handle.slot_];
+    return s.live && s.generation == handle.generation_;
   }
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
@@ -66,42 +109,108 @@ class EventQueue {
 
   /// Timestamp of the next live event. Requires !empty().
   [[nodiscard]] Time next_time() {
-    drop_cancelled();
-    return heap_.top().when;
+    drop_orphans();
+    return heap_.front().when;
   }
 
-  /// Remove and return the next live event. Requires !empty().
+  /// Remove and return the next live event. Requires !empty(). The slot
+  /// is released before returning, so the event's handle reports
+  /// non-pending while the action runs (and cancelling it returns false).
   std::pair<Time, Action> pop() {
-    drop_cancelled();
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+    drop_orphans();
+    const HeapItem top = heap_.front();
+    pop_root();
+    Action action = std::move(slots_[top.slot].action);
+    release(top.slot);
     --live_;
-    *top.cancelled = true;  // mark fired so handles report non-pending
-    return {top.when, std::move(top.action)};
+    return {top.when, std::move(action)};
   }
 
  private:
-  struct Entry {
+  friend struct EventQueueTestPeer;  // generation-wraparound tests
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    Action action;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
+  struct HeapItem {
     Time when;
     std::uint64_t seq;
-    Action action;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
 
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  void drop_cancelled() {
-    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  static bool before(const HeapItem& a, const HeapItem& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Free a slot: clear the action, invalidate outstanding handles and
+  /// heap entries by bumping the generation, and push it on the free list.
+  void release(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.action = nullptr;
+    s.live = false;
+    ++s.generation;  // wraps at 2^32, see file comment
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  /// A heap entry is an orphan when its slot was cancelled (and possibly
+  /// reused since): the generations no longer match.
+  [[nodiscard]] bool orphan(const HeapItem& item) const {
+    return slots_[item.slot].generation != item.generation;
+  }
+
+  void drop_orphans() {
+    while (!heap_.empty() && orphan(heap_.front())) pop_root();
+  }
+
+  void pop_root() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void sift_up(std::size_t i) {
+    const HeapItem item = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(item, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = item;
+  }
+
+  void sift_down(std::size_t i) {
+    const HeapItem item = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], item)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = item;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<HeapItem> heap_;
+  std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->pending(*this);
+}
 
 }  // namespace mhrp::sim

@@ -71,6 +71,17 @@ class ByteWriter {
   /// Move the encoded bytes out; the writer is left empty and reusable.
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
 
+  /// Discard the contents but keep the capacity, so one writer can be
+  /// reused across many encodes without reallocating (the per-packet
+  /// audit and ICMP-quote paths lean on this).
+  void clear() { buf_.clear(); }
+
+  /// Drop everything past the first `size` bytes (no-op when already
+  /// shorter). Used to cap ICMP error quotes at the configured limit.
+  void truncate(std::size_t size) {
+    if (size < buf_.size()) buf_.resize(size);
+  }
+
  private:
   std::vector<std::uint8_t> buf_;
 };

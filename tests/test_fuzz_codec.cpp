@@ -1,0 +1,276 @@
+// Fuzz-style corpus tests for the wire codecs. A seeded byte-mutation
+// loop (util::Rng, so every run replays identically) drives random
+// corruption, truncation, and extension over a corpus of valid frames
+// through the three parsers untrusted bytes reach:
+//
+//   * net::Packet::deserialize      (RFC 791 datagrams, incl. options)
+//   * core::MhrpHeader::decode      (paper Figure 3)
+//   * net::decode_icmp              (incl. the §4.3 location update)
+//
+// Every outcome must be either a successful parse or util::CodecError —
+// never a crash, an uncaught std exception, or (under ASan/UBSan, which
+// the CI matrix runs this suite under) undefined behavior. On rejection
+// the caller's output object must be exactly as it was before the call.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mhrp_header.hpp"
+#include "net/icmp.hpp"
+#include "net/packet.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace mhrp {
+namespace {
+
+constexpr int kMutationsPerFrame = 400;
+
+/// Corrupt 1-4 random bytes; occasionally truncate or extend instead.
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& frame,
+                                 util::Rng& rng) {
+  std::vector<std::uint8_t> out = frame;
+  const std::uint64_t kind = rng.uniform(0, 9);
+  if (kind == 0 && !out.empty()) {  // truncate to a random prefix
+    out.resize(rng.index(out.size()));
+  } else if (kind == 1) {  // append random garbage
+    const std::uint64_t extra = rng.uniform(1, 16);
+    for (std::uint64_t i = 0; i < extra; ++i) {
+      out.push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    }
+  } else if (!out.empty()) {  // flip random bytes in place
+    const std::uint64_t edits = rng.uniform(1, 4);
+    for (std::uint64_t i = 0; i < edits; ++i) {
+      out[rng.index(out.size())] =
+          static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+  }
+  return out;
+}
+
+// ---- Corpus builders ----
+
+net::Packet make_udp_packet(std::size_t payload_size) {
+  net::IpHeader h;
+  h.src = net::IpAddress::of(10, 1, 0, 100);
+  h.dst = net::IpAddress::of(10, 3, 0, 9);
+  h.ttl = 32;
+  std::vector<std::uint8_t> payload(payload_size);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  return net::Packet(h, std::move(payload));
+}
+
+net::Packet make_lsrr_packet() {
+  net::Packet p = make_udp_packet(24);
+  p.header().options.push_back(net::make_lsrr_option(
+      {net::IpAddress::of(10, 2, 0, 1), net::IpAddress::of(10, 4, 0, 1)}, 0));
+  return p;
+}
+
+std::vector<core::MhrpHeader> mhrp_corpus() {
+  std::vector<core::MhrpHeader> corpus;
+  core::MhrpHeader plain;
+  plain.orig_protocol = 17;
+  plain.mobile_host = net::IpAddress::of(10, 1, 0, 100);
+  corpus.push_back(plain);
+
+  core::MhrpHeader one = plain;
+  one.previous_sources = {net::IpAddress::of(10, 200, 0, 10)};
+  corpus.push_back(one);
+
+  core::MhrpHeader full = plain;
+  for (int i = 0; i < 8; ++i) {
+    full.previous_sources.push_back(
+        net::IpAddress::of(10, static_cast<std::uint8_t>(2 + i), 0, 1));
+  }
+  corpus.push_back(full);
+  return corpus;
+}
+
+std::vector<net::IcmpMessage> icmp_corpus() {
+  std::vector<net::IcmpMessage> corpus;
+  corpus.reserve(7);
+  net::IcmpEcho echo{true, 7, 3, {1, 2, 3, 4, 5, 6, 7, 8}};
+  corpus.emplace_back(echo);
+  net::IcmpUnreachable unreach{net::UnreachCode::kHostUnreachable,
+                               std::vector<std::uint8_t>(28, 0xAB)};
+  corpus.emplace_back(unreach);
+  net::IcmpAgentAdvertisement adv{net::IpAddress::of(10, 2, 0, 1), false,
+                                  true, 3, 19};
+  corpus.emplace_back(adv);
+  corpus.emplace_back(net::IcmpAgentSolicitation{});
+  net::IcmpLocationUpdate bind{net::IpAddress::of(10, 1, 0, 100),
+                               net::IpAddress::of(10, 2, 0, 1), false};
+  corpus.emplace_back(bind);
+  net::IcmpLocationUpdate home{net::IpAddress::of(10, 1, 0, 101),
+                               net::IpAddress(0), true};
+  corpus.emplace_back(home);
+  net::IcmpLocationUpdate dissolve{net::IpAddress::of(10, 1, 0, 102),
+                                   net::IpAddress::of(10, 5, 0, 1), true};
+  corpus.emplace_back(dissolve);
+  return corpus;
+}
+
+/// A recognizable sentinel: rejected parses must leave this untouched.
+core::MhrpHeader sentinel_mhrp() {
+  core::MhrpHeader s;
+  s.orig_protocol = 0xEE;
+  s.mobile_host = net::IpAddress::of(192, 0, 2, 1);
+  s.previous_sources = {net::IpAddress::of(192, 0, 2, 2)};
+  return s;
+}
+
+// ---- Fuzz loops ----
+
+TEST(FuzzCodec, PacketDeserializeNeverCrashes) {
+  util::Rng rng(0xF0220001);
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.push_back(make_udp_packet(0).serialize());
+  corpus.push_back(make_udp_packet(8).serialize());
+  corpus.push_back(make_udp_packet(512).serialize());
+  corpus.push_back(make_lsrr_packet().serialize());
+
+  const net::Packet pristine = make_udp_packet(8);
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  for (const auto& frame : corpus) {
+    for (int i = 0; i < kMutationsPerFrame; ++i) {
+      const std::vector<std::uint8_t> fuzzed = mutate(frame, rng);
+      net::Packet out = pristine;  // sentinel with a known header
+      try {
+        out = net::Packet::deserialize(fuzzed);
+        ++accepted;
+      } catch (const util::CodecError&) {
+        ++rejected;
+        // Rejection must not have partially mutated the output.
+        EXPECT_EQ(out.header(), pristine.header());
+        EXPECT_EQ(out.payload(), pristine.payload());
+      }
+    }
+  }
+  // The corpus is built from valid frames, so some mutations (e.g. in the
+  // payload, which the IP header checksum does not cover) must still
+  // parse, and corruption of the checksummed header must be caught.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzCodec, PacketHeaderSingleBitFlipsAreAllRejected) {
+  // The internet checksum detects every single-bit error, so *no* flip
+  // inside the checksummed IP header may survive deserialization.
+  const std::vector<std::uint8_t> frame = make_udp_packet(16).serialize();
+  const std::size_t header_bytes = 20;
+  for (std::size_t byte = 0; byte < header_bytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> fuzzed = frame;
+      fuzzed[byte] = static_cast<std::uint8_t>(fuzzed[byte] ^ (1u << bit));
+      EXPECT_THROW((void)net::Packet::deserialize(fuzzed), util::CodecError)
+          << "bit " << bit << " of byte " << byte << " survived";
+    }
+  }
+}
+
+TEST(FuzzCodec, MhrpHeaderDecodeNeverCrashes) {
+  util::Rng rng(0xF0220002);
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  for (const core::MhrpHeader& h : mhrp_corpus()) {
+    util::ByteWriter w;
+    h.encode(w);
+    const std::vector<std::uint8_t> frame = w.take();
+    {
+      util::ByteReader r(frame);
+      EXPECT_EQ(core::MhrpHeader::decode(r), h);  // clean round trip
+    }
+    for (int i = 0; i < kMutationsPerFrame; ++i) {
+      const std::vector<std::uint8_t> fuzzed = mutate(frame, rng);
+      core::MhrpHeader out = sentinel_mhrp();
+      util::ByteReader r(fuzzed);
+      try {
+        out = core::MhrpHeader::decode(r);
+        ++accepted;
+      } catch (const util::CodecError&) {
+        ++rejected;
+        EXPECT_EQ(out, sentinel_mhrp());
+      }
+    }
+  }
+  EXPECT_GT(accepted, 0u);  // e.g. garbage appended past the list
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzCodec, MhrpHeaderSingleBitFlipsAreAllRejected) {
+  // The MHRP header checksum (Figure 3) covers every octet including the
+  // previous-source list, so any single-bit flip must be rejected.
+  for (const core::MhrpHeader& h : mhrp_corpus()) {
+    util::ByteWriter w;
+    h.encode(w);
+    const std::vector<std::uint8_t> frame = w.take();
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> fuzzed = frame;
+        fuzzed[byte] = static_cast<std::uint8_t>(fuzzed[byte] ^ (1u << bit));
+        util::ByteReader r(fuzzed);
+        EXPECT_THROW((void)core::MhrpHeader::decode(r), util::CodecError)
+            << "bit " << bit << " of byte " << byte << " survived";
+      }
+    }
+  }
+}
+
+TEST(FuzzCodec, IcmpDecodeNeverCrashes) {
+  util::Rng rng(0xF0220003);
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  const net::IcmpMessage sentinel =
+      net::IcmpEcho{false, 0xDEAD, 0xBEEF, {9, 9, 9}};
+  for (const net::IcmpMessage& msg : icmp_corpus()) {
+    const std::vector<std::uint8_t> frame = net::encode_icmp(msg);
+    EXPECT_EQ(net::decode_icmp(frame), msg);  // clean round trip
+    for (int i = 0; i < kMutationsPerFrame; ++i) {
+      const std::vector<std::uint8_t> fuzzed = mutate(frame, rng);
+      net::IcmpMessage out = sentinel;
+      try {
+        out = net::decode_icmp(fuzzed);
+        ++accepted;
+      } catch (const util::CodecError&) {
+        ++rejected;
+        EXPECT_EQ(out, sentinel);
+      }
+    }
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzCodec, LocationUpdateSingleBitFlipsNeverMisparse) {
+  // A corrupted location update must never decode *as a location update
+  // with different contents* — that would poison location caches. Either
+  // the checksum rejects it, or (for flips in the type byte) it decodes
+  // as some other, honestly-labeled message type.
+  const net::IcmpMessage original = net::IcmpLocationUpdate{
+      net::IpAddress::of(10, 1, 0, 100), net::IpAddress::of(10, 2, 0, 1),
+      false};
+  const std::vector<std::uint8_t> frame = net::encode_icmp(original);
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> fuzzed = frame;
+      fuzzed[byte] = static_cast<std::uint8_t>(fuzzed[byte] ^ (1u << bit));
+      try {
+        const net::IcmpMessage out = net::decode_icmp(fuzzed);
+        EXPECT_FALSE(std::holds_alternative<net::IcmpLocationUpdate>(out))
+            << "bit " << bit << " of byte " << byte
+            << " produced a differing location update";
+      } catch (const util::CodecError&) {
+        // rejected: fine
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mhrp

@@ -120,7 +120,7 @@ TEST(MobileHost, RegistrationSurvivesLossyCell) {
   options.seed = 99;
   MhrpWorld w(options);
   util::Rng loss_rng(1234);
-  w.cells[0]->set_loss(0.3, &loss_rng);
+  w.cells[0]->set_loss(0.3, loss_rng);
   ASSERT_TRUE(w.move_and_register(0, 0, sim::seconds(60)));
   EXPECT_EQ(w.mobiles[0]->state(), MobileHost::State::kForeign);
   // Retransmissions happened (overwhelmingly likely at 30% loss across

@@ -154,7 +154,7 @@ TEST(Links, LossProbabilityDropsSomeFrames) {
   topo.connect(b, lan, ip("10.1.0.11"), 24);
   topo.install_static_routes();
   util::Rng rng(7);
-  lan.set_loss(0.5, &rng);
+  lan.set_loss(0.5, rng);
   int replies = 0;
   int done = 0;
   for (int i = 0; i < 40; ++i) {
@@ -168,6 +168,34 @@ TEST(Links, LossProbabilityDropsSomeFrames) {
   EXPECT_EQ(done, 40);
   EXPECT_GT(replies, 0);
   EXPECT_LT(replies, 40);
+}
+
+TEST(Links, ClearLossReleasesTheCallerRng) {
+  // set_loss() borrows the caller's RNG by reference; clear_loss() must
+  // drop that reference so the RNG may die before the link. (Under the
+  // ASan CI config a stale reference here is a use-after-scope.)
+  Topology topo;
+  auto& lan = topo.add_link("lan", sim::millis(1));
+  auto& a = topo.add_host("A");
+  auto& b = topo.add_host("B");
+  topo.connect(a, lan, ip("10.1.0.10"), 24);
+  topo.connect(b, lan, ip("10.1.0.11"), 24);
+  topo.install_static_routes();
+  int replies = 0;
+  auto count = [&](const node::Host::PingResult& r) {
+    if (r.replied) ++replies;
+  };
+  {
+    util::Rng rng(99);
+    lan.set_loss(1.0, rng);  // certain loss while the model is armed
+    a.ping(ip("10.1.0.11"), count, 16, sim::seconds(2));
+    topo.sim().run_for(sim::seconds(5));
+    EXPECT_EQ(replies, 0);
+    lan.clear_loss();
+  }  // rng destroyed; the link must not have kept a pointer to it
+  a.ping(ip("10.1.0.11"), count, 16, sim::seconds(2));
+  topo.sim().run_for(sim::seconds(5));
+  EXPECT_EQ(replies, 1);
 }
 
 TEST(Links, MidFlightDetachSuppressesDelivery) {

@@ -7,6 +7,17 @@
 #include "sim/timer.hpp"
 
 namespace mhrp::sim {
+
+/// Test-only backdoor for forcing a slot's generation counter near its
+/// wraparound point (2^32 schedule/cancel cycles through one slot would
+/// otherwise take hours).
+struct EventQueueTestPeer {
+  static void set_free_slot_generation(EventQueue& q, std::uint32_t slot,
+                                       std::uint32_t generation) {
+    q.slots_[slot].generation = generation;
+  }
+};
+
 namespace {
 
 TEST(EventQueue, PopsInTimeOrder) {
@@ -54,6 +65,106 @@ TEST(EventQueue, SizeTracksLiveEventsOnly) {
   q.pop().second();
   EXPECT_EQ(q.size(), 0u);
   (void)b;
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  auto handle = q.schedule(10, [] {});
+  q.pop().second();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(q.cancel(handle));
+}
+
+TEST(EventQueue, DefaultHandleIsInvalidAndNotPending) {
+  EventQueue q;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, HandleStaysDistinctAcrossSlotReuse) {
+  EventQueue q;
+  // `a` occupies the first slab slot; cancelling frees it for reuse.
+  auto a = q.schedule(10, [] {});
+  ASSERT_TRUE(q.cancel(a));
+  // `b` reuses the same slot with a bumped generation: the old handle
+  // must not come back to life, and cancelling it must not kill `b`.
+  auto b = q.schedule(20, [] {});
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PendingSurvivesHeapOfStaleEntries) {
+  EventQueue q;
+  // Pile several cancelled entries for the same slot into the heap; the
+  // one live event must still pop, alone.
+  for (int i = 0; i < 8; ++i) {
+    auto h = q.schedule(5, [] {});
+    q.cancel(h);
+  }
+  int fired = 0;
+  auto live = q.schedule(7, [&] { ++fired; });
+  EXPECT_TRUE(live.pending());
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(live.pending());
+}
+
+TEST(EventQueue, GenerationWraparound) {
+  EventQueue q;
+  auto scrap = q.schedule(1, [] {});
+  q.cancel(scrap);  // slot 0 is now free (its heap orphan is harmless)
+  EventQueueTestPeer::set_free_slot_generation(q, 0, 0xFFFFFFFFu);
+
+  auto old_gen = q.schedule(10, [] {});  // generation 0xFFFFFFFF
+  EXPECT_TRUE(old_gen.pending());
+  q.pop().second();  // fires; generation wraps to 0
+  EXPECT_FALSE(old_gen.pending());
+
+  auto wrapped = q.schedule(20, [] {});  // same slot, generation 0
+  EXPECT_TRUE(wrapped.pending());
+  EXPECT_FALSE(old_gen.pending());  // 0xFFFFFFFF != 0: still dead
+  EXPECT_FALSE(q.cancel(old_gen));
+  EXPECT_TRUE(q.cancel(wrapped));
+}
+
+TEST(EventQueue, CancelSelfInsideFiringActionReturnsFalse) {
+  EventQueue q;
+  EventHandle self;
+  bool cancel_result = true;
+  self = q.schedule(10, [&] { cancel_result = q.cancel(self); });
+  q.pop().second();
+  EXPECT_FALSE(cancel_result);  // the firing event is no longer pending
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPeerInsideFiringActionPreventsIt) {
+  EventQueue q;
+  bool peer_ran = false;
+  EventHandle peer;
+  q.schedule(10, [&] { EXPECT_TRUE(q.cancel(peer)); });
+  peer = q.schedule(10, [&] { peer_ran = true; });
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(peer_ran);
+}
+
+TEST(EventQueue, FifoSurvivesInterleavedCancellation) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(q.schedule(5, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 12; i += 2) q.cancel(handles[std::size_t(i)]);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9, 11}));
 }
 
 TEST(Simulator, ClockFollowsEvents) {
