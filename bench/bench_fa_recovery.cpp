@@ -43,7 +43,7 @@ Result run(bool verify_arp, bool broadcast) {
   if (!ok) return result;
 
   const sim::Time crash_at = w.topo.sim().now();
-  w.fa_r4->crash_and_reboot();
+  w.fa_r4->reboot();
 
   // Steady ping stream until delivery resumes.
   for (int attempt = 0; attempt < 100; ++attempt) {

@@ -22,8 +22,8 @@ struct Result {
 Result run(sim::Time adv_period, bool solicit, bool pointers) {
   scenario::MhrpWorldOptions options;
   options.foreign_sites = 2;
-  options.advertisement_period = adv_period;
-  options.forwarding_pointers = pointers;
+  options.protocol.advertisement_period = adv_period;
+  options.protocol.forwarding_pointers = pointers;
   options.solicit_on_attach = solicit;
   scenario::MhrpWorld w(options);
   Result result;

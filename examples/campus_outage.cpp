@@ -27,7 +27,7 @@ int main() {
   std::printf("baseline ping: %s\n", ok ? "ok" : "FAILED");
 
   std::printf("\n*** R4 crashes and reboots: visiting list gone ***\n");
-  w.fa_r4->crash_and_reboot();
+  w.fa_r4->reboot();
   std::printf("R4 visiting list has M: %s\n",
               w.fa_r4->is_visiting(w.m_address()) ? "yes" : "no");
 

@@ -28,8 +28,8 @@ RunResult run(bool forwarding_pointers, bool narrate) {
   options.foreign_sites = 5;
   options.mobile_hosts = 1;
   options.correspondents = 1;
-  options.forwarding_pointers = forwarding_pointers;
-  options.advertisement_period = sim::millis(500);
+  options.protocol.forwarding_pointers = forwarding_pointers;
+  options.protocol.advertisement_period = sim::millis(500);
   scenario::MhrpWorld w(options);
 
   if (!w.move_and_register(0, 0)) {

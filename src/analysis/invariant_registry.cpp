@@ -27,6 +27,13 @@ constexpr std::array<InvariantInfo, kInvariantCount> kCatalogue{{
      "the LocationCache LRU list and lookup map describe the same entries"},
     {InvariantId::kCacheCapacity, "cache-capacity", "§2",
      "LocationCache occupancy never exceeds its configured capacity"},
+    {InvariantId::kLinkDownSilent, "link-down-silent", "§5.2 / DESIGN §9",
+     "a failed link carries no frames — neither new transmissions nor "
+     "in-flight deliveries"},
+    {InvariantId::kStaleBindingForwarding, "stale-binding-forwarding",
+     "§5.2, §6.3",
+     "past the repair window, no agent tunnels toward a superseded "
+     "foreign-agent binding"},
 }};
 
 }  // namespace

@@ -48,9 +48,18 @@ enum class InvariantId : std::uint8_t {
   /// LocationCache occupancy never exceeds its configured capacity
   /// ("the (finite) cache space provided by any cache agent", §2).
   kCacheCapacity,
+  /// A link that has failed carries no frames: nothing is transmitted on
+  /// it and nothing in flight is delivered through it (the lifecycle
+  /// contract the fault plane injects against).
+  kLinkDownSilent,
+  /// After the repair window following a binding change, no agent keeps
+  /// tunneling a mobile host's traffic toward the superseded foreign
+  /// agent (§5.2/§6.3 lazy repair must converge). Checked against a
+  /// scenario-supplied binding oracle.
+  kStaleBindingForwarding,
 };
 
-inline constexpr std::size_t kInvariantCount = 9;
+inline constexpr std::size_t kInvariantCount = 11;
 
 [[nodiscard]] constexpr std::size_t index_of(InvariantId id) {
   return static_cast<std::size_t>(id);

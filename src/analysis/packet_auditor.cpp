@@ -87,7 +87,20 @@ void PacketAuditor::on_transmit(const net::Link& link, const net::Frame& frame,
       report_.frames_audited % cache_audit_interval_ == 0) {
     audit_caches(now);
   }
-  if (!frame.is_ip()) return;  // ARP carries no audited invariants
+  if (!frame.is_ip()) {
+    // ARP carries no audited invariants, but the lifecycle one still
+    // holds: a down link must carry nothing at all.
+    if (!link.is_up() && registry_.enabled(InvariantId::kLinkDownSilent)) {
+      report_.add(AuditViolation{InvariantId::kLinkDownSilent, 0, now,
+                                 link.name(),
+                                 "ARP frame transmitted on a down link"});
+    }
+    return;
+  }
+  if (!link.is_up() && registry_.enabled(InvariantId::kLinkDownSilent)) {
+    violate(InvariantId::kLinkDownSilent, frame.packet(), now, link.name(),
+            "frame transmitted on a down link");
+  }
   audit_packet(frame.packet(), now, link.name());
 }
 
@@ -172,6 +185,16 @@ void PacketAuditor::check_mhrp(const net::Packet& packet, PathState& state,
               std::string("MHRP header rejected: ") + e.what());
     }
     return;  // the remaining checks need a decoded header
+  }
+
+  if (binding_oracle_ &&
+      registry_.enabled(InvariantId::kStaleBindingForwarding) &&
+      !binding_oracle_(packet.header().src, header.mobile_host,
+                       packet.header().dst, now)) {
+    violate(InvariantId::kStaleBindingForwarding, packet, now, where,
+            "tunnel toward " + packet.header().dst.to_string() +
+                " uses a binding for " + header.mobile_host.to_string() +
+                " stale past the repair window");
   }
 
   const std::size_t list_len = header.previous_sources.size();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -63,6 +64,20 @@ class PacketAuditor final : public net::LinkObserver {
     cache_audit_interval_ = frames;
   }
 
+  /// Oracle behind the stale-binding invariant, consulted for every
+  /// MHRP-tunneled frame: given the tunnel head (outer IP source), the
+  /// mobile host, the tunnel destination, and the transmission time, it
+  /// returns true when that binding use is acceptable (current, or
+  /// within the repair window after a change). The scenario layer builds
+  /// one from the home agent's binding history; with no oracle installed
+  /// the invariant is not checked.
+  using BindingOracle =
+      std::function<bool(net::IpAddress tunnel_src, net::IpAddress mobile_host,
+                         net::IpAddress tunnel_dst, sim::Time now)>;
+  void set_binding_oracle(BindingOracle oracle) {
+    binding_oracle_ = std::move(oracle);
+  }
+
   // ---- Checks ----
 
   void on_transmit(const net::Link& link, const net::Frame& frame,
@@ -101,6 +116,7 @@ class PacketAuditor final : public net::LinkObserver {
 
   InvariantRegistry registry_;
   AuditReport report_;
+  BindingOracle binding_oracle_;
   util::ByteWriter scratch_;  // reused per-packet serialize buffer
   std::unordered_map<std::uint64_t, PathState> paths_;
   std::vector<net::Link*> links_;

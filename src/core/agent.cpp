@@ -723,13 +723,15 @@ void MhrpAgent::send_location_update(IpAddress dst, IpAddress mobile_host,
   node_.send_icmp(dst, update);
 }
 
-void MhrpAgent::crash_and_reboot() {
+void MhrpAgent::reboot(bool preserve_home_database) {
   visiting_.clear();
   cache_.clear();
   limiter_ = UpdateRateLimiter(config_.update_min_interval,
                                config_.rate_limiter_capacity);
   // The home database is "recorded on disk to survive any crashes and
-  // subsequent reboots" (paper §2) — it persists.
+  // subsequent reboots" (paper §2) — it persists unless the caller
+  // models losing the disk as well.
+  if (!preserve_home_database) home_db_.clear();
   if (config_.reregister_broadcast_on_reboot) {
     RegMessage query{RegKind::kReconnectQuery, net::kUnspecified,
                      net::kUnspecified, 0};

@@ -172,11 +172,16 @@ class MhrpAgent {
 
   // ---- Fault injection (paper §5.2) ----
 
-  /// Lose all volatile state — the visiting list, the location cache,
-  /// the rate limiter — as a crash+reboot would. The home-agent database
-  /// survives ("should also be recorded on disk", §2). Optionally
-  /// broadcasts the §5.2 re-register query afterwards.
-  void crash_and_reboot();
+  /// Reboot the agent: lose all volatile state — the visiting list, the
+  /// location cache, the rate limiter — as a crash+reboot would. With
+  /// `preserve_home_database` (the default), the home-agent database
+  /// survives ("should also be recorded on disk", §2); without it the
+  /// disk is lost too, modeling a replica rebuilt from scratch.
+  /// Optionally broadcasts the §5.2 re-register query afterwards. The
+  /// fault plane calls this when it reboots a crashed node.
+  void reboot(bool preserve_home_database = true);
+
+  [[deprecated("use reboot()")]] void crash_and_reboot() { reboot(); }
 
   /// Send a location update about `mobile_host` to `dst`, rate limited.
   /// Exposed for the mobile host (which reports "I am home", §6.3) and

@@ -1,5 +1,7 @@
 #include "core/mobile_host.hpp"
 
+#include <algorithm>
+
 #include "core/encapsulation.hpp"
 #include "util/log.hpp"
 
@@ -7,6 +9,21 @@ namespace mhrp::core {
 
 using net::IpAddress;
 using net::Packet;
+
+sim::Time registration_backoff_delay(const MobileHostConfig& config,
+                                     int attempt, util::Rng& rng) {
+  const double cap = static_cast<double>(
+      std::max(config.registration_retry_max, config.registration_retry));
+  double delay = static_cast<double>(config.registration_retry);
+  for (int i = 0; i < attempt && delay < cap; ++i) {
+    delay *= std::max(config.backoff_factor, 1.0);
+  }
+  delay = std::min(delay, cap);
+  if (config.retry_jitter > 0.0) {
+    delay *= 1.0 + config.retry_jitter * (2.0 * rng.real() - 1.0);
+  }
+  return std::max<sim::Time>(1, static_cast<sim::Time>(delay));
+}
 
 MobileHost::MobileHost(sim::Simulator& sim, std::string name,
                        IpAddress home_ip, int home_prefix_length,
@@ -16,7 +33,8 @@ MobileHost::MobileHost(sim::Simulator& sim, std::string name,
       agent_lifetime_(sim, [this] { on_agent_lost(); }),
       solicit_timer_(sim, config.solicit_period, [this] { solicit(); }),
       cache_(config.cache_capacity),
-      limiter_(config.update_min_interval) {
+      limiter_(config.update_min_interval),
+      retry_rng_(config.retry_seed) {
   radio_ = &add_interface("wlan0", home_ip, home_prefix_length);
   join_multicast(net::kAllAgentsGroup);
 
@@ -224,7 +242,9 @@ void MobileHost::send_registration(RegKind kind, IpAddress dst,
     if (it == outstanding_.end()) return;
     Outstanding& o = it->second;
     if (++o.attempts >= config_.registration_attempts) {
-      outstanding_.erase(it);  // give up; discovery will retry on next adv
+      // Give up; discovery will retry on the next advertisement.
+      ++stats_.registrations_abandoned;
+      outstanding_.erase(it);
       return;
     }
     ++stats_.registration_retransmits;
@@ -240,9 +260,9 @@ void MobileHost::send_registration(RegKind kind, IpAddress dst,
     } else {
       send_udp(o.dst, kRegistrationPort, kRegistrationPort, bytes);
     }
-    o.timer->arm(config_.registration_retry);
+    o.timer->arm(registration_backoff_delay(config_, o.attempts, retry_rng_));
   });
-  out.timer->arm(config_.registration_retry);
+  out.timer->arm(registration_backoff_delay(config_, 0, retry_rng_));
 
   auto bytes = m.encode();
   if (direct) {

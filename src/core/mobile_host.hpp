@@ -30,6 +30,7 @@
 #include "core/registration.hpp"
 #include "node/host.hpp"
 #include "sim/timer.hpp"
+#include "util/rng.hpp"
 
 namespace mhrp::core {
 
@@ -38,8 +39,22 @@ struct MobileHostConfig {
   /// with the host's permanent address (paper §2).
   net::IpAddress home_agent;
 
+  /// First retransmission interval for unacknowledged registrations.
   sim::Time registration_retry = sim::millis(500);
   int registration_attempts = 5;
+  /// Exponential backoff on registration retransmissions: retry k waits
+  /// registration_retry * backoff_factor^k, capped at
+  /// registration_retry_max — so the protocol rides through injected
+  /// outages instead of hammering a dead agent at a fixed rate.
+  double backoff_factor = 2.0;
+  sim::Time registration_retry_max = sim::seconds(8);
+  /// Each retry interval is scaled by a uniform draw from
+  /// [1 - retry_jitter, 1 + retry_jitter), desynchronizing hosts that
+  /// lost the same agent at the same instant.
+  double retry_jitter = 0.1;
+  /// Seed for the per-host retry-jitter stream (worlds derive it from
+  /// their own seed so replay stays deterministic).
+  std::uint64_t retry_seed = 0x6d687270;
   /// Send an agent solicitation immediately on attaching (§3 allows
   /// either soliciting or waiting for the next periodic advertisement —
   /// bench_handoff sweeps both).
@@ -52,10 +67,19 @@ struct MobileHostConfig {
   sim::Time update_min_interval = sim::millis(500);
 };
 
+/// The interval before retransmission number `attempt` (0 = the first
+/// retransmission): registration_retry * backoff_factor^attempt, capped
+/// at registration_retry_max, then jittered by a uniform factor in
+/// [1 - retry_jitter, 1 + retry_jitter). Free function so the backoff
+/// policy is unit-testable without a host.
+[[nodiscard]] sim::Time registration_backoff_delay(
+    const MobileHostConfig& config, int attempt, util::Rng& rng);
+
 struct MobileHostStats {
   std::uint64_t moves = 0;
   std::uint64_t registrations_completed = 0;
   std::uint64_t registration_retransmits = 0;
+  std::uint64_t registrations_abandoned = 0;  // gave up after max attempts
   std::uint64_t advertisements_heard = 0;
   std::uint64_t solicitations_sent = 0;
   std::uint64_t tunneled_received = 0;  // MHRP packets decapsulated by the host
@@ -158,6 +182,7 @@ class MobileHost : public node::Host {
   sim::PeriodicTimer solicit_timer_;
   LocationCache cache_;
   UpdateRateLimiter limiter_;
+  util::Rng retry_rng_;
 };
 
 }  // namespace mhrp::core

@@ -53,24 +53,37 @@ class HaReplicator {
     return bindings_replicated_;
   }
   [[nodiscard]] std::uint64_t takeovers() const { return takeovers_; }
+  /// Times this replica yielded the active role back after discovering a
+  /// concurrently active peer (a healed partition or a recovered
+  /// primary). Exactly one replica must stay active afterwards: the
+  /// original primary wins the tiebreak, and any other replica steps
+  /// down when it hears an active heartbeat.
+  [[nodiscard]] std::uint64_t stepdowns() const { return stepdowns_; }
 
  private:
   void on_udp(const net::UdpDatagram& datagram, const net::IpHeader& header);
   void broadcast_binding(net::IpAddress mobile_host,
                          net::IpAddress foreign_agent);
   void heartbeat();
+  /// Unicast `bytes` to every peer except those whose address this node
+  /// currently holds as an alias (i.e. dead peers it stands in for).
+  void send_to_peers(const std::vector<std::uint8_t>& bytes);
   void peer_timeout();
   void take_over();
+  void step_down();
+  void reassert();
 
   MhrpAgent& agent_;
   std::vector<net::IpAddress> peers_;
-  bool active_;  // currently the intercepting replica
+  bool active_;            // currently the intercepting replica
+  bool original_primary_;  // tiebreak winner when two replicas are active
   Config config_;
   bool applying_remote_ = false;  // suppress re-broadcast loops
   sim::PeriodicTimer heartbeat_timer_;
   sim::OneShotTimer peer_lifetime_;
   std::uint64_t bindings_replicated_ = 0;
   std::uint64_t takeovers_ = 0;
+  std::uint64_t stepdowns_ = 0;
 };
 
 }  // namespace mhrp::core

@@ -1,0 +1,196 @@
+#include "faults/fault_plane.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/registration.hpp"
+#include "net/icmp.hpp"
+#include "net/udp.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mhrp::faults {
+
+FaultPlane::FaultPlane(sim::Simulator& sim, std::uint64_t seed)
+    : sim_(sim), rng_(seed) {}
+
+FaultPlane::~FaultPlane() {
+  // Release the links' references to rng_ before it dies.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (impaired_[i]) links_[i]->clear_impairments();
+  }
+}
+
+std::size_t FaultPlane::add_link(net::Link& link) {
+  links_.push_back(&link);
+  impaired_.push_back(false);
+  return links_.size() - 1;
+}
+
+std::size_t FaultPlane::add_node(node::Node& node, core::MhrpAgent* agent) {
+  NodeTarget t;
+  t.node = &node;
+  t.agent = agent;
+  nodes_.push_back(t);
+  return nodes_.size() - 1;
+}
+
+std::uint8_t FaultPlane::drop_bit(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropRegistration: return 1;
+    case FaultKind::kDropLocationUpdates: return 2;
+    case FaultKind::kDropIcmp: return 4;
+    default: return 0;
+  }
+}
+
+bool FaultPlane::should_drop(const NodeTarget& t,
+                             const net::Packet& packet) const {
+  const std::uint8_t proto = packet.header().protocol;
+  if ((t.drop_mask & drop_bit(FaultKind::kDropRegistration)) != 0 &&
+      proto == net::to_u8(net::IpProto::kUdp)) {
+    try {
+      if (net::decode_udp(packet.payload()).header.dst_port ==
+          core::kRegistrationPort) {
+        return true;
+      }
+    } catch (const util::CodecError&) {
+    }
+  }
+  if (proto == net::to_u8(net::IpProto::kIcmp)) {
+    if ((t.drop_mask & drop_bit(FaultKind::kDropIcmp)) != 0) return true;
+    if ((t.drop_mask & drop_bit(FaultKind::kDropLocationUpdates)) != 0) {
+      try {
+        const net::IcmpMessage msg = net::decode_icmp(packet.payload());
+        if (std::holds_alternative<net::IcmpLocationUpdate>(msg)) return true;
+      } catch (const util::CodecError&) {
+      }
+    }
+  }
+  return false;
+}
+
+void FaultPlane::install_drop_filter(std::size_t target) {
+  NodeTarget& t = nodes_[target];
+  if (t.filter_installed) return;
+  t.filter_installed = true;
+  // One filter on each path a message can take through the node: local
+  // delivery (a registration arriving at its agent) and the forwarding
+  // path (a location update passing through a router).
+  auto filter = [this, target](net::Packet& packet, net::Interface&) {
+    NodeTarget& node = nodes_[target];
+    if (node.drop_mask != 0 && should_drop(node, packet)) {
+      ++stats_.messages_dropped;
+      return node::Intercept::kConsumed;
+    }
+    return node::Intercept::kContinue;
+  };
+  t.node->add_local_interceptor(filter);
+  t.node->add_interceptor(filter);
+}
+
+void FaultPlane::load(const FaultSchedule& schedule) {
+  for (const FaultEvent& e : schedule.events()) {
+    const bool is_link = e.kind == FaultKind::kLinkFail ||
+                         e.kind == FaultKind::kLinkRecover ||
+                         e.kind == FaultKind::kLinkImpair ||
+                         e.kind == FaultKind::kLinkClear;
+    if (is_link ? e.target >= links_.size() : e.target >= nodes_.size()) {
+      throw std::out_of_range("FaultPlane: schedule targets unregistered " +
+                              std::string(is_link ? "link" : "node"));
+    }
+    sim_.at(e.at, [this, e] { apply(e); });
+  }
+}
+
+void FaultPlane::apply(const FaultEvent& event) {
+  // For events with a duration, the inverse fires this long from now.
+  auto schedule_inverse = [this, &event](FaultKind inverse_kind) {
+    if (event.duration <= 0) return;
+    FaultEvent inverse = event;
+    inverse.kind = inverse_kind;
+    inverse.at = sim_.now() + event.duration;
+    inverse.duration = 0;
+    sim_.after(event.duration, [this, inverse] { apply(inverse); });
+  };
+
+  switch (event.kind) {
+    case FaultKind::kLinkFail:
+      links_.at(event.target)->fail();
+      ++stats_.link_failures;
+      schedule_inverse(FaultKind::kLinkRecover);
+      break;
+    case FaultKind::kLinkRecover:
+      links_.at(event.target)->recover();
+      ++stats_.link_recoveries;
+      break;
+    case FaultKind::kLinkImpair:
+      links_.at(event.target)->set_impairments(event.impairments, rng_);
+      impaired_.at(event.target) = true;
+      ++stats_.impairment_bursts;
+      schedule_inverse(FaultKind::kLinkClear);
+      break;
+    case FaultKind::kLinkClear:
+      links_.at(event.target)->clear_impairments();
+      impaired_.at(event.target) = false;
+      ++stats_.impairments_cleared;
+      break;
+    case FaultKind::kNodeCrash:
+      nodes_.at(event.target).node->fail();
+      ++stats_.node_crashes;
+      schedule_inverse(FaultKind::kNodeReboot);
+      break;
+    case FaultKind::kNodeReboot: {
+      NodeTarget& t = nodes_.at(event.target);
+      t.node->recover();
+      // The node model keeps configuration across a crash; the agent's
+      // volatile protocol state (§5.2) is what a reboot loses.
+      if (t.agent != nullptr) t.agent->reboot(event.preserve_persistent_state);
+      ++stats_.node_reboots;
+      break;
+    }
+    case FaultKind::kDropRegistration:
+    case FaultKind::kDropLocationUpdates:
+    case FaultKind::kDropIcmp: {
+      NodeTarget& t = nodes_.at(event.target);
+      install_drop_filter(event.target);
+      if (event.duration > 0) {
+        // Opening a window; it closes by clearing the same bit.
+        t.drop_mask = static_cast<std::uint8_t>(t.drop_mask |
+                                                drop_bit(event.kind));
+        ++stats_.drop_windows_opened;
+        const FaultKind kind = event.kind;
+        const std::size_t target = event.target;
+        sim_.after(event.duration, [this, kind, target] {
+          nodes_[target].drop_mask =
+              static_cast<std::uint8_t>(nodes_[target].drop_mask &
+                                        ~drop_bit(kind));
+          ++stats_.drop_windows_closed;
+        });
+      } else {
+        // Duration zero toggles the window shut.
+        t.drop_mask = static_cast<std::uint8_t>(t.drop_mask &
+                                                ~drop_bit(event.kind));
+        ++stats_.drop_windows_closed;
+      }
+      break;
+    }
+  }
+  if (on_fault) on_fault(event);
+}
+
+std::string FaultPlane::digest() const {
+  std::ostringstream out;
+  out << "faultplane links=" << links_.size() << " nodes=" << nodes_.size()
+      << " linkfail=" << stats_.link_failures
+      << " linkrec=" << stats_.link_recoveries
+      << " bursts=" << stats_.impairment_bursts
+      << " cleared=" << stats_.impairments_cleared
+      << " crashes=" << stats_.node_crashes
+      << " reboots=" << stats_.node_reboots
+      << " dropwin=" << stats_.drop_windows_opened << "/"
+      << stats_.drop_windows_closed
+      << " dropped=" << stats_.messages_dropped << "\n";
+  return out.str();
+}
+
+}  // namespace mhrp::faults

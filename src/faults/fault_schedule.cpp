@@ -1,0 +1,125 @@
+#include "faults/fault_schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mhrp::faults {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkFail: return "link-fail";
+    case FaultKind::kLinkRecover: return "link-recover";
+    case FaultKind::kLinkImpair: return "link-impair";
+    case FaultKind::kLinkClear: return "link-clear";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodeReboot: return "node-reboot";
+    case FaultKind::kDropRegistration: return "drop-registration";
+    case FaultKind::kDropLocationUpdates: return "drop-location-updates";
+    case FaultKind::kDropIcmp: return "drop-icmp";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Draws Poisson arrival times over [0, horizon) and hands each one to
+/// `emit(at, target, duration)`. One shared shape for all three
+/// generators keeps the RNG consumption pattern identical.
+template <typename Emit>
+void poisson_arrivals(util::Rng& rng, sim::Time horizon, double rate_per_sec,
+                      sim::Time mean_hold, std::size_t first_target,
+                      std::size_t targets, Emit emit) {
+  if (rate_per_sec <= 0.0 || targets == 0 || horizon <= 0) return;
+  double at_s = 0.0;
+  const double horizon_s = sim::to_seconds(horizon);
+  while (true) {
+    at_s += rng.exponential(1.0 / rate_per_sec);
+    if (at_s >= horizon_s) return;
+    const std::size_t target = first_target + rng.index(targets);
+    const sim::Time hold = std::max<sim::Time>(
+        1, sim::from_seconds(rng.exponential(sim::to_seconds(mean_hold))));
+    emit(sim::from_seconds(at_s), target, hold);
+  }
+}
+
+}  // namespace
+
+void FaultSchedule::append_poisson_link_outages(util::Rng& rng,
+                                                sim::Time horizon,
+                                                double rate_per_sec,
+                                                sim::Time mean_outage,
+                                                std::size_t first_target,
+                                                std::size_t targets) {
+  poisson_arrivals(rng, horizon, rate_per_sec, mean_outage, first_target,
+                   targets,
+                   [this](sim::Time at, std::size_t target, sim::Time hold) {
+                     FaultEvent e;
+                     e.at = at;
+                     e.kind = FaultKind::kLinkFail;
+                     e.target = target;
+                     e.duration = hold;
+                     events_.push_back(e);
+                   });
+}
+
+void FaultSchedule::append_poisson_node_crashes(util::Rng& rng,
+                                                sim::Time horizon,
+                                                double rate_per_sec,
+                                                sim::Time mean_downtime,
+                                                std::size_t first_target,
+                                                std::size_t targets,
+                                                bool preserve_persistent_state) {
+  poisson_arrivals(
+      rng, horizon, rate_per_sec, mean_downtime, first_target, targets,
+      [this, preserve_persistent_state](sim::Time at, std::size_t target,
+                                        sim::Time hold) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultKind::kNodeCrash;
+        e.target = target;
+        e.duration = hold;
+        e.preserve_persistent_state = preserve_persistent_state;
+        events_.push_back(e);
+      });
+}
+
+void FaultSchedule::append_poisson_impairment_bursts(
+    util::Rng& rng, sim::Time horizon, double rate_per_sec,
+    sim::Time mean_burst, const net::LinkImpairments& burst,
+    std::size_t first_target, std::size_t targets) {
+  poisson_arrivals(rng, horizon, rate_per_sec, mean_burst, first_target,
+                   targets,
+                   [this, &burst](sim::Time at, std::size_t target,
+                                  sim::Time hold) {
+                     FaultEvent e;
+                     e.at = at;
+                     e.kind = FaultKind::kLinkImpair;
+                     e.target = target;
+                     e.duration = hold;
+                     e.impairments = burst;
+                     events_.push_back(e);
+                   });
+}
+
+std::string FaultSchedule::digest() const {
+  std::ostringstream out;
+  out << "faultschedule n=" << events_.size() << "\n";
+  for (const FaultEvent& e : events_) {
+    out << e.at << " " << to_string(e.kind) << " target=" << e.target
+        << " dur=" << e.duration;
+    if (e.kind == FaultKind::kLinkImpair) {
+      out << " loss=" << e.impairments.loss
+          << " delay=" << e.impairments.extra_delay
+          << " jitter=" << e.impairments.jitter
+          << " dup=" << e.impairments.duplicate
+          << " reorder=" << e.impairments.reorder;
+    }
+    if (e.kind == FaultKind::kNodeCrash || e.kind == FaultKind::kNodeReboot) {
+      out << " preserve=" << (e.preserve_persistent_state ? 1 : 0);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mhrp::faults

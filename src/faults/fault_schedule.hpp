@@ -1,0 +1,106 @@
+// FaultSchedule: a deterministic list of fault events — link partitions
+// and heals, impairment bursts, node crashes and reboots, targeted
+// message drops — that a FaultPlane replays against a simulation. A
+// schedule is either scripted (events appended by hand) or drawn from
+// seeded Poisson processes over a horizon; either way it is a pure
+// function of its inputs, so the same seed and the same schedule give a
+// byte-identical run (the faults-active replay regression test asserts
+// exactly that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mhrp::faults {
+
+enum class FaultKind : std::uint8_t {
+  kLinkFail,     // partition a link (net::Link::fail)
+  kLinkRecover,  // heal it (net::Link::recover)
+  kLinkImpair,   // install a loss/delay/jitter/reorder/duplicate burst
+  kLinkClear,    // remove the impairments
+  kNodeCrash,    // node::Node::fail — both stack directions go silent
+  kNodeReboot,   // node::Node::recover (+ core::MhrpAgent::reboot)
+  kDropRegistration,     // drop §3 registration traffic at the node
+  kDropLocationUpdates,  // drop §4.3 location updates at the node
+  kDropIcmp,             // drop all ICMP at the node
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultKind kind = FaultKind::kLinkFail;
+  /// Index into the FaultPlane's link registry (link faults) or node
+  /// registry (node faults / message drops) — by index, not name, so the
+  /// schedule stays independent of any particular topology builder.
+  std::size_t target = 0;
+  /// When > 0, the plane schedules the inverse event (recover, reboot,
+  /// clear) this long after `at`.
+  sim::Time duration = 0;
+  /// Impairments installed by kLinkImpair.
+  net::LinkImpairments impairments;
+  /// kNodeReboot: whether the disk-persistent home-agent database (§2)
+  /// survives the reboot.
+  bool preserve_persistent_state = true;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Append one scripted event.
+  void add(const FaultEvent& event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  // ---- Poisson generators ----
+  //
+  // Each draws exponential inter-arrival times from `rng` until
+  // `horizon`, aiming every event at a uniformly drawn target in
+  // [first_target, first_target + targets). All draws flow through the
+  // caller's RNG, so the composition order of these calls is part of the
+  // schedule's deterministic identity.
+
+  /// Link outages at `rate_per_sec`, each lasting an exponential time
+  /// with mean `mean_outage` (the heal is scheduled via duration).
+  void append_poisson_link_outages(util::Rng& rng, sim::Time horizon,
+                                   double rate_per_sec, sim::Time mean_outage,
+                                   std::size_t first_target,
+                                   std::size_t targets);
+
+  /// Node crashes at `rate_per_sec`, each rebooting after an exponential
+  /// downtime with mean `mean_downtime`.
+  void append_poisson_node_crashes(util::Rng& rng, sim::Time horizon,
+                                   double rate_per_sec, sim::Time mean_downtime,
+                                   std::size_t first_target,
+                                   std::size_t targets,
+                                   bool preserve_persistent_state = true);
+
+  /// Impairment bursts (loss/delay/jitter/...) at `rate_per_sec`, each
+  /// cleared after an exponential burst length with mean `mean_burst`.
+  void append_poisson_impairment_bursts(util::Rng& rng, sim::Time horizon,
+                                        double rate_per_sec,
+                                        sim::Time mean_burst,
+                                        const net::LinkImpairments& burst,
+                                        std::size_t first_target,
+                                        std::size_t targets);
+
+  /// Deterministic one-line-per-event rendering (replay tests and debug
+  /// logs compare these).
+  [[nodiscard]] std::string digest() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace mhrp::faults

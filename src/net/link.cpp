@@ -35,6 +35,28 @@ bool Link::has_member(const Interface& iface) const {
   return iface.link_ == this;
 }
 
+void Link::fail() {
+  if (!up_) return;
+  up_ = false;
+  if (observer_ != nullptr) observer_->on_state_changed(*this, false, sim_.now());
+}
+
+void Link::recover() {
+  if (up_) return;
+  up_ = true;
+  if (observer_ != nullptr) observer_->on_state_changed(*this, true, sim_.now());
+}
+
+void Link::set_impairments(const LinkImpairments& impairments, util::Rng& rng) {
+  impairments_ = impairments;
+  rng_ = &rng;
+}
+
+void Link::clear_impairments() {
+  impairments_ = LinkImpairments{};
+  rng_ = nullptr;
+}
+
 sim::Time Link::delay_for(std::size_t frame_bytes) const {
   sim::Time delay = latency_;
   if (bandwidth_bps_ > 0) {
@@ -44,10 +66,32 @@ sim::Time Link::delay_for(std::size_t frame_bytes) const {
   return delay;
 }
 
+// Delivery re-checks the link state and membership when the frame
+// "arrives": a link that failed mid-flight must deliver nothing (the
+// no-delivery-through-a-down-link invariant), and an interface that
+// detached mid-flight (a radio that left the cell) must not hear it —
+// otherwise a mobile host could receive a stale agent advertisement from
+// the cell it just left and register with an unreachable agent.
+void Link::schedule_delivery(Interface* member, Frame frame, sim::Time delay) {
+  sim_.after(delay, [this, member, frame = std::move(frame)]() mutable {
+    if (!up_) {
+      ++frames_dropped_down_;
+      return;
+    }
+    if (has_member(*member)) member->deliver(std::move(frame));
+  });
+}
+
 void Link::transmit(const Interface& from, Frame frame) {
-  if (!up_) return;
-  if (rng_ != nullptr && loss_probability_ > 0.0 &&
-      rng_->chance(loss_probability_)) {
+  if (!up_) {
+    ++frames_dropped_down_;
+    return;
+  }
+  // Impairment draw order (loss, jitter, reorder, duplicate) is fixed:
+  // it is part of the deterministic-replay contract.
+  if (rng_ != nullptr && impairments_.loss > 0.0 &&
+      rng_->chance(impairments_.loss)) {
+    ++frames_dropped_loss_;
     return;
   }
   ++frames_carried_;
@@ -56,13 +100,21 @@ void Link::transmit(const Interface& from, Frame frame) {
   if (frame.is_ip()) {
     frame.packet().note_wire_crossing(frame.packet().wire_size());
   }
-  const sim::Time delay = delay_for(frame.wire_size());
+  sim::Time delay = delay_for(frame.wire_size()) + impairments_.extra_delay;
+  bool duplicate = false;
+  if (rng_ != nullptr) {
+    if (impairments_.jitter > 0) {
+      delay += static_cast<sim::Time>(
+          rng_->uniform(0, static_cast<std::uint64_t>(impairments_.jitter)));
+    }
+    if (impairments_.reorder > 0.0 && rng_->chance(impairments_.reorder)) {
+      delay += impairments_.reorder_hold;
+    }
+    duplicate =
+        impairments_.duplicate > 0.0 && rng_->chance(impairments_.duplicate);
+  }
+  if (duplicate) ++frames_duplicated_;
 
-  // Delivery re-checks membership when the frame "arrives": an interface
-  // that detached mid-flight (a radio that left the cell) must not hear
-  // it — otherwise a mobile host could receive a stale agent
-  // advertisement from the cell it just left and register with an
-  // unreachable agent.
   if (frame.dst.is_broadcast()) {
     // Every other member gets its own copy of the frame, except the last
     // recipient, which takes the original by move — on a two-member
@@ -79,10 +131,11 @@ void Link::transmit(const Interface& from, Frame frame) {
     for (std::size_t i = 0; i <= last; ++i) {
       Interface* member = members_[i];
       if (member == &from) continue;
+      if (duplicate) {
+        schedule_delivery(member, frame, delay + latency_);
+      }
       Frame copy = i == last ? std::move(frame) : frame;
-      sim_.after(delay, [this, member, copy = std::move(copy)]() mutable {
-        if (has_member(*member)) member->deliver(std::move(copy));
-      });
+      schedule_delivery(member, std::move(copy), delay);
     }
     return;
   }
@@ -90,9 +143,10 @@ void Link::transmit(const Interface& from, Frame frame) {
   for (Interface* member : members_) {
     if (member == &from) continue;
     if (member->mac() == frame.dst) {
-      sim_.after(delay, [this, member, frame = std::move(frame)]() mutable {
-        if (has_member(*member)) member->deliver(std::move(frame));
-      });
+      if (duplicate) {
+        schedule_delivery(member, frame, delay + latency_);
+      }
+      schedule_delivery(member, std::move(frame), delay);
       return;
     }
   }

@@ -1,8 +1,8 @@
 // A Link is a broadcast domain (LAN segment, wireless cell, or a
 // point-to-point circuit, which is just a two-member domain). Frames are
 // delivered after propagation latency plus serialization delay, with
-// optional loss; delivery is by destination MAC, or to every member for
-// the broadcast address.
+// optional stochastic impairments; delivery is by destination MAC, or to
+// every member for the broadcast address.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +18,30 @@ namespace mhrp::net {
 
 class Link;
 
+/// Stochastic wire impairments applied to every frame a link carries,
+/// drawn from one seeded RNG so a run is exactly reproducible. The draw
+/// order per transmitted frame — loss, jitter, reorder, duplicate — is
+/// part of the deterministic-replay contract.
+struct LinkImpairments {
+  /// Independent per-frame drop probability.
+  double loss = 0.0;
+  /// Fixed extra one-way delay added to every frame.
+  sim::Time extra_delay = 0;
+  /// Uniform extra delay in [0, jitter], drawn per frame.
+  sim::Time jitter = 0;
+  /// Probability a carried frame is delivered twice.
+  double duplicate = 0.0;
+  /// Probability a frame is held back by reorder_hold, letting frames
+  /// sent after it arrive first.
+  double reorder = 0.0;
+  sim::Time reorder_hold = sim::millis(10);
+
+  [[nodiscard]] bool any() const {
+    return loss > 0.0 || extra_delay > 0 || jitter > 0 || duplicate > 0.0 ||
+           reorder > 0.0;
+  }
+};
+
 /// Observes every frame a Link actually carries (after the up/loss
 /// checks), at the moment of transmission. The audit layer
 /// (analysis::PacketAuditor) attaches through this to validate wire
@@ -32,6 +56,13 @@ class LinkObserver {
   virtual ~LinkObserver() = default;
   virtual void on_transmit(const Link& link, const Frame& frame,
                            sim::Time now) = 0;
+  /// The link failed (`up` false) or recovered (`up` true) — the
+  /// lifecycle events the fault plane injects.
+  virtual void on_state_changed(const Link& link, bool up, sim::Time now) {
+    (void)link;
+    (void)up;
+    (void)now;
+  }
   /// The link stopped observing through this observer — it was destroyed
   /// or another observer replaced this one. `link` may be mid-destruction;
   /// only its address may be used.
@@ -60,23 +91,37 @@ class Link {
     return members_;
   }
 
-  /// Independent per-frame drop probability, drawn from `rng`, which must
-  /// outlive this link (or be cleared with clear_loss() first).
-  void set_loss(double probability, util::Rng& rng) {
-    loss_probability_ = probability;
-    rng_ = &rng;
-  }
+  // ---- Lifecycle (the fault plane's injection points) ----
 
-  /// Remove the loss model (and the link's reference to its RNG).
-  void clear_loss() {
-    loss_probability_ = 0.0;
-    rng_ = nullptr;
-  }
-
-  /// Administratively disable/enable the link (models a down circuit,
-  /// used by the robustness experiments). Frames sent while down are lost.
-  void set_up(bool up) { up_ = up; }
+  /// Take the link down: a cut circuit or a partition. Frames sent while
+  /// down are lost, and frames already in flight die at arrival — nothing
+  /// is delivered through a down link. Idempotent.
+  void fail();
+  /// Bring the link back up. Idempotent.
+  void recover();
   [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Install a stochastic impairment model. `rng` must outlive this link
+  /// or be released with clear_impairments() first.
+  void set_impairments(const LinkImpairments& impairments, util::Rng& rng);
+  /// Remove the impairment model (and the link's reference to its RNG).
+  void clear_impairments();
+  [[nodiscard]] const LinkImpairments& impairments() const {
+    return impairments_;
+  }
+
+  [[deprecated("use fail()/recover()")]] void set_up(bool up) {
+    up ? recover() : fail();
+  }
+  [[deprecated("use set_impairments()")]] void set_loss(double probability,
+                                                        util::Rng& rng) {
+    LinkImpairments imp;
+    imp.loss = probability;
+    set_impairments(imp, rng);
+  }
+  [[deprecated("use clear_impairments()")]] void clear_loss() {
+    clear_impairments();
+  }
 
   /// Transmit from `from` (which must be attached). Schedules delivery to
   /// the matching member(s) after the link delay.
@@ -96,21 +141,36 @@ class Link {
   // Traffic counters for metrics.
   [[nodiscard]] std::uint64_t frames_carried() const { return frames_carried_; }
   [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_carried_; }
+  /// Frames lost to a down link: sent while down, or in flight when it
+  /// failed ("packets lost per outage" feeds on this).
+  [[nodiscard]] std::uint64_t frames_dropped_down() const {
+    return frames_dropped_down_;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped_loss() const {
+    return frames_dropped_loss_;
+  }
+  [[nodiscard]] std::uint64_t frames_duplicated() const {
+    return frames_duplicated_;
+  }
 
  private:
   [[nodiscard]] sim::Time delay_for(std::size_t frame_bytes) const;
+  void schedule_delivery(Interface* member, Frame frame, sim::Time delay);
 
   sim::Simulator& sim_;
   std::string name_;
   sim::Time latency_;
   std::uint64_t bandwidth_bps_;
   std::vector<Interface*> members_;
-  double loss_probability_ = 0.0;
+  LinkImpairments impairments_;
   util::Rng* rng_ = nullptr;
   LinkObserver* observer_ = nullptr;
   bool up_ = true;
   std::uint64_t frames_carried_ = 0;
   std::uint64_t bytes_carried_ = 0;
+  std::uint64_t frames_dropped_down_ = 0;
+  std::uint64_t frames_dropped_loss_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
 };
 
 }  // namespace mhrp::net

@@ -55,9 +55,35 @@ Node::InterfaceState& Node::state_of(Interface& iface) {
 
 net::ArpTable& Node::arp_table(Interface& iface) { return state_of(iface).arp; }
 
+// ---- Lifecycle ----
+
+void Node::fail() {
+  if (!up_) return;
+  up_ = false;
+  // A crash loses all volatile link-layer state: ARP caches and the
+  // packets (and retry timers) queued awaiting resolution.
+  for (auto& [iface, st] : iface_state_) {
+    (void)iface;
+    st.arp.clear();
+    for (auto& [next_hop, pending] : st.pending) {
+      (void)next_hop;
+      sim_.cancel(pending.retry);
+    }
+    st.pending.clear();
+  }
+  if (on_state_changed) on_state_changed(false);
+}
+
+void Node::recover() {
+  if (up_) return;
+  up_ = true;
+  if (on_state_changed) on_state_changed(true);
+}
+
 // ---- Sending ----
 
 void Node::send_ip(Packet packet) {
+  if (!up_) return;
   if (packet.header().src.is_unspecified()) {
     packet.header().src = primary_address();
   }
@@ -96,6 +122,7 @@ void Node::send_ip(Packet packet) {
 }
 
 void Node::send_ip_on(Interface& iface, Packet packet, IpAddress link_dst) {
+  if (!up_) return;
   if (packet.header().src.is_unspecified()) packet.header().src = iface.ip();
   if (packet.created_at() == 0) packet.set_created_at(sim_.now());
   ++counters_.ip_sent;
@@ -178,8 +205,10 @@ void Node::send_gratuitous_arp(Interface& iface, IpAddress ip,
   reply.target_mac = net::kMacBroadcast;
   reply.target_ip = ip;
   for (int i = 0; i <= repeats; ++i) {
-    sim_.after(sim::millis(100) * i, [&iface, reply] {
-      // The interface may have detached in the meantime; send() handles it.
+    sim_.after(sim::millis(100) * i, [this, &iface, reply] {
+      // The interface may have detached in the meantime; send() handles
+      // it. A node that crashed before the repeat fires stays silent.
+      if (!up_) return;
       iface.send(Frame{iface.mac(), net::kMacBroadcast, reply});
     });
   }
@@ -276,6 +305,7 @@ void Node::arp_retry(Interface& iface, IpAddress next_hop) {
 // ---- Receive path ----
 
 void Node::on_frame(Interface& iface, Frame frame) {
+  if (!up_) return;  // a crashed node hears nothing
   if (frame.is_arp()) {
     handle_arp(iface, frame.arp());
     return;

@@ -188,6 +188,25 @@ class Node : public net::FrameSink {
   void send_icmp_error(const net::Packet& offending,
                        const net::IcmpMessage& prototype);
 
+  // ---- Lifecycle (the fault plane's injection points) ----
+
+  /// Crash the node: both the receive and the send path go silent, so
+  /// timers that fire while down emit nothing, and all volatile
+  /// link-layer state (ARP caches, packets queued on resolution) is
+  /// lost, as in a power failure. Routing tables, interfaces, and demux
+  /// registrations survive — they model configuration, not RAM.
+  /// Idempotent.
+  void fail();
+  /// Power the node back up. Idempotent. Protocol modules layered on the
+  /// node (e.g. core::MhrpAgent) re-initialize their own volatile state
+  /// separately.
+  void recover();
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Fired from fail()/recover() with the new state — the node-side
+  /// mirror of net::LinkObserver::on_state_changed.
+  std::function<void(bool up)> on_state_changed;
+
   // ---- Counters & hooks ----
 
   struct Counters {
@@ -241,6 +260,7 @@ class Node : public net::FrameSink {
   std::vector<std::unique_ptr<net::Interface>> interfaces_;
   std::unordered_map<const net::Interface*, InterfaceState> iface_state_;
   routing::RoutingTable table_;
+  bool up_ = true;
   bool forwarding_ = false;
   bool send_redirects_ = false;
   std::set<net::IpAddress> multicast_groups_;

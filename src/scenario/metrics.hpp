@@ -6,14 +6,47 @@
 // (max_wire_size - 20 - base_payload_size).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "node/node.hpp"
 
 namespace mhrp::scenario {
+
+/// Linear-interpolated percentile over a copy of `values` (`p` in
+/// [0, 100]). Empty input yields 0 — callers report the count alongside.
+[[nodiscard]] inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+/// The summary every recovery metric is reported as (E-chaos, §5.2).
+struct PercentileSummary {
+  std::uint64_t count = 0;
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+[[nodiscard]] inline PercentileSummary summarize(std::vector<double> values) {
+  PercentileSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.max = values.back();
+  s.p50 = percentile(values, 50);
+  s.p90 = percentile(values, 90);
+  s.p99 = percentile(values, 99);
+  return s;
+}
 
 struct Distribution {
   std::uint64_t count = 0;

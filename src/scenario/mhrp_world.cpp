@@ -5,7 +5,7 @@
 namespace mhrp::scenario {
 
 MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
-    : topo(opts.seed), options(opts) {
+    : topo(opts.protocol.seed), options(opts) {
   auto& backbone = topo.add_link("backbone", sim::millis(2));
 
   // Home site: router .1 on 10.1.0.0/24, backbone 10.0.0.1.
@@ -51,14 +51,14 @@ MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
   for (int i = 0; i < opts.mobile_hosts; ++i) {
     core::MobileHostConfig config;
     config.home_agent = net::IpAddress::of(10, 1, 0, 1);
-    config.update_min_interval = opts.update_min_interval;
+    config.update_min_interval = opts.protocol.update_min_interval;
     config.solicit_on_attach = opts.solicit_on_attach;
     mobiles.push_back(&topo.add_mobile_host("M" + std::to_string(i),
                                             mobile_address(i), 24, config));
   }
 
   for (const auto& node : topo.nodes()) {
-    node->set_icmp_quote_limit(opts.icmp_quote_limit);
+    node->set_icmp_quote_limit(opts.protocol.icmp_quote_limit);
   }
 
   topo.install_static_routes();
@@ -66,10 +66,10 @@ MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
   core::AgentConfig ha_config;
   ha_config.home_agent = true;
   ha_config.cache_agent = true;
-  ha_config.advertisement_period = opts.advertisement_period;
-  ha_config.max_list_length = opts.max_list_length;
-  ha_config.forwarding_pointers = opts.forwarding_pointers;
-  ha_config.update_min_interval = opts.update_min_interval;
+  ha_config.advertisement_period = opts.protocol.advertisement_period;
+  ha_config.max_list_length = opts.protocol.max_list_length;
+  ha_config.forwarding_pointers = opts.protocol.forwarding_pointers;
+  ha_config.update_min_interval = opts.protocol.update_min_interval;
   ha = std::make_unique<core::MhrpAgent>(*home_router, ha_config);
   ha->serve_on(ha_iface);
   for (int i = 0; i < opts.mobile_hosts; ++i) {
@@ -81,10 +81,10 @@ MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
     core::AgentConfig fa_config;
     fa_config.foreign_agent = true;
     fa_config.cache_agent = true;
-    fa_config.advertisement_period = opts.advertisement_period;
-    fa_config.max_list_length = opts.max_list_length;
-    fa_config.forwarding_pointers = opts.forwarding_pointers;
-    fa_config.update_min_interval = opts.update_min_interval;
+    fa_config.advertisement_period = opts.protocol.advertisement_period;
+    fa_config.max_list_length = opts.protocol.max_list_length;
+    fa_config.forwarding_pointers = opts.protocol.forwarding_pointers;
+    fa_config.update_min_interval = opts.protocol.update_min_interval;
     auto agent = std::make_unique<core::MhrpAgent>(*fa_routers[std::size_t(j)],
                                                    fa_config);
     agent->serve_on(*fa_cell_ifaces[std::size_t(j)]);
@@ -96,7 +96,7 @@ MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
     for (node::Host* host : correspondents) {
       core::AgentConfig ca_config;
       ca_config.cache_agent = true;
-      ca_config.update_min_interval = opts.update_min_interval;
+      ca_config.update_min_interval = opts.protocol.update_min_interval;
       corr_agents.push_back(std::make_unique<core::MhrpAgent>(*host, ca_config));
     }
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/agent.hpp"
+#include "scenario/protocol_options.hpp"
 #include "scenario/topology.hpp"
 
 namespace mhrp::scenario {
@@ -18,16 +19,12 @@ struct MhrpWorldOptions {
   int foreign_sites = 3;
   int mobile_hosts = 1;
   int correspondents = 1;
-  sim::Time advertisement_period = sim::seconds(1);
-  sim::Time update_min_interval = sim::millis(100);
-  std::size_t max_list_length = 8;
-  bool forwarding_pointers = true;
   bool correspondents_are_cache_agents = true;
   /// §3: a mobile host "may wait to hear the next periodic advertisement
   /// message, or may optionally multicast an agent solicitation".
   bool solicit_on_attach = true;
-  std::size_t icmp_quote_limit = 28;
-  std::uint64_t seed = 1;
+  /// Protocol knobs shared with every other scenario world.
+  ProtocolOptions protocol;
 };
 
 class MhrpWorld {

@@ -1,0 +1,31 @@
+// The MHRP protocol knobs every scenario world exposes, factored into
+// one struct so MhrpWorldOptions and ScaleWorldOptions cannot drift:
+// both embed a ProtocolOptions and feed the same fields into the same
+// AgentConfig / MobileHostConfig slots. Topology shape, population, and
+// workload stay in the per-world option structs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mhrp::scenario {
+
+struct ProtocolOptions {
+  /// §3: period of the agents' multicast advertisement messages.
+  sim::Time advertisement_period = sim::seconds(1);
+  /// §4.3 rate limit on location-update messages per (target, binding).
+  sim::Time update_min_interval = sim::millis(100);
+  /// §4.4 previous-source list cap (entries) before the overflow flush.
+  std::size_t max_list_length = 8;
+  /// §5.2: foreign agents keep forwarding pointers after a host departs.
+  bool forwarding_pointers = true;
+  /// Octets of the offending datagram quoted in ICMP errors (§4.5 cares
+  /// that the quote reaches the original sender through the tunnel).
+  std::size_t icmp_quote_limit = 28;
+  /// Master seed: topology construction order, movement, workload.
+  std::uint64_t seed = 1;
+};
+
+}  // namespace mhrp::scenario

@@ -41,7 +41,7 @@ ScaleWorldOptions validate(ScaleWorldOptions o) {
 }  // namespace
 
 ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
-    : topo(opts.seed), options(validate(opts)) {
+    : topo(opts.protocol.seed), options(validate(opts)) {
   const int n = options.routers;
 
   routers.reserve(static_cast<std::size_t>(n));
@@ -61,6 +61,7 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
                  net::IpAddress(subnet + 1), 30);
     topo.connect(*routers[static_cast<std::size_t>(b)], link,
                  net::IpAddress(subnet + 2), 30);
+    backbone_links.push_back(&link);
     ++link_no;
   };
   if (options.backbone == ScaleWorldOptions::Backbone::kGrid) {
@@ -112,9 +113,13 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
   for (int i = 0; i < options.mobile_hosts; ++i) {
     core::MobileHostConfig config;
     config.home_agent = net::IpAddress(kHomeLanBase + 1);
-    config.update_min_interval = options.update_min_interval;
+    config.update_min_interval = options.protocol.update_min_interval;
     mobiles.push_back(&topo.add_mobile_host("M" + std::to_string(i),
                                             mobile_address(i), 16, config));
+  }
+
+  for (const auto& node : topo.nodes()) {
+    node->set_icmp_quote_limit(options.protocol.icmp_quote_limit);
   }
 
   topo.install_static_routes();
@@ -122,9 +127,10 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
   core::AgentConfig ha_config;
   ha_config.home_agent = true;
   ha_config.cache_agent = true;
-  ha_config.advertisement_period = options.advertisement_period;
-  ha_config.max_list_length = options.max_list_length;
-  ha_config.update_min_interval = options.update_min_interval;
+  ha_config.advertisement_period = options.protocol.advertisement_period;
+  ha_config.max_list_length = options.protocol.max_list_length;
+  ha_config.forwarding_pointers = options.protocol.forwarding_pointers;
+  ha_config.update_min_interval = options.protocol.update_min_interval;
   ha = std::make_unique<core::MhrpAgent>(*home_router, ha_config);
   ha->serve_on(ha_iface);
   for (int i = 0; i < options.mobile_hosts; ++i) {
@@ -136,9 +142,10 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
     core::AgentConfig fa_config;
     fa_config.foreign_agent = true;
     fa_config.cache_agent = true;
-    fa_config.advertisement_period = options.advertisement_period;
-    fa_config.max_list_length = options.max_list_length;
-    fa_config.update_min_interval = options.update_min_interval;
+    fa_config.advertisement_period = options.protocol.advertisement_period;
+    fa_config.max_list_length = options.protocol.max_list_length;
+    fa_config.forwarding_pointers = options.protocol.forwarding_pointers;
+    fa_config.update_min_interval = options.protocol.update_min_interval;
     auto agent = std::make_unique<core::MhrpAgent>(
         *fa_routers[static_cast<std::size_t>(j)], fa_config);
     agent->serve_on(*fa_cell_ifaces[static_cast<std::size_t>(j)]);
@@ -152,14 +159,18 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
   for (node::Host* host : correspondents) {
     core::AgentConfig ca_config;
     ca_config.cache_agent = true;
-    ca_config.update_min_interval = options.update_min_interval;
+    ca_config.update_min_interval = options.protocol.update_min_interval;
     corr_agents.push_back(std::make_unique<core::MhrpAgent>(*host, ca_config));
   }
 
   audit::auto_attach(topo);
 }
 
-ScaleWorld::~ScaleWorld() = default;
+ScaleWorld::~ScaleWorld() {
+  // The binding oracle captures `this`; the process-global auditor
+  // outlives the world.
+  if (oracle_installed_) audit::global_auditor().set_binding_oracle(nullptr);
+}
 
 net::IpAddress ScaleWorld::mobile_address(int i) const {
   return net::IpAddress(kMobileBase + static_cast<std::uint32_t>(i));
@@ -174,6 +185,7 @@ void ScaleWorld::start() {
     core::MobileHost* m = mobiles[i];
     m->on_attached = [this, i] { attach_times_[i] = topo.sim().now(); };
     m->on_registered = [this, i] {
+      close_recovery(i);
       if (attach_times_[i] < 0) return;
       handoff_latencies_.push_back(
           sim::to_seconds(topo.sim().now() - attach_times_[i]));
@@ -196,7 +208,7 @@ void ScaleWorld::start() {
   // Stagger starts across one advertisement period so a million-host
   // world does not schedule every first move at the same instant.
   const sim::Time spread =
-      std::max<sim::Time>(options.advertisement_period, 1);
+      std::max<sim::Time>(options.protocol.advertisement_period, 1);
   for (std::size_t i = 0; i < mobiles.size(); ++i) {
     const sim::Time offset =
         spread * static_cast<sim::Time>(i) /
@@ -206,6 +218,130 @@ void ScaleWorld::start() {
       flows_[i]->start();
     });
   }
+
+  arm_chaos();
+}
+
+void ScaleWorld::arm_chaos() {
+  const ChaosOptions& c = options.chaos;
+  if (!c.enabled) return;
+
+  // The schedule draw and the plane's own impairment draws come from
+  // distinct streams off one seed, so enabling loss bursts cannot shift
+  // which links fail.
+  fault_plane_ = std::make_unique<faults::FaultPlane>(
+      topo.sim(), c.fault_seed ^ 0x696d706169724dULL);
+  for (net::Link* cell : cells) fault_plane_->add_link(*cell);
+  for (net::Link* bb : backbone_links) fault_plane_->add_link(*bb);
+  for (std::size_t j = 0; j < fas.size(); ++j) {
+    fault_plane_->add_node(*fa_routers[j], fas[j].get());
+  }
+
+  util::Rng draw(c.fault_seed);
+  faults::FaultSchedule schedule;
+  if (c.cell_outages_per_sec > 0) {
+    schedule.append_poisson_link_outages(draw, c.horizon,
+                                         c.cell_outages_per_sec, c.mean_outage,
+                                         0, cells.size());
+  }
+  if (c.backbone_outages_per_sec > 0 && !backbone_links.empty()) {
+    schedule.append_poisson_link_outages(
+        draw, c.horizon, c.backbone_outages_per_sec, c.mean_outage,
+        cells.size(), backbone_links.size());
+  }
+  if (c.fa_crashes_per_sec > 0) {
+    schedule.append_poisson_node_crashes(
+        draw, c.horizon, c.fa_crashes_per_sec, c.mean_downtime, 0, fas.size(),
+        c.preserve_persistent_state);
+  }
+  if (c.loss_bursts_per_sec > 0) {
+    net::LinkImpairments burst;
+    burst.loss = c.burst_loss;
+    schedule.append_poisson_impairment_bursts(
+        draw, c.horizon, c.loss_bursts_per_sec, c.mean_burst, burst, 0,
+        cells.size() + backbone_links.size());
+  }
+  fault_plane_->load(schedule);
+  fault_plane_->on_fault = [this](const faults::FaultEvent& e) {
+    note_fault(e);
+  };
+
+  outages_.assign(mobiles.size(), Outage{});
+  ha_bindings_.assign(mobiles.size(), net::IpAddress());
+  binding_changed_at_.assign(mobiles.size(), 0);
+  ha->on_binding_changed = [this](net::IpAddress mobile, net::IpAddress fa) {
+    const std::uint32_t raw = mobile.raw();
+    if (raw < kMobileBase || raw >= kMobileBase + mobiles.size()) return;
+    const auto i = static_cast<std::size_t>(raw - kMobileBase);
+    ha_bindings_[i] = fa;
+    binding_changed_at_[i] = topo.sim().now();
+    if (outages_[i].staleness_start >= 0) {
+      binding_staleness_.push_back(
+          sim::to_seconds(topo.sim().now() - outages_[i].staleness_start));
+      outages_[i].staleness_start = -1;
+    }
+  };
+
+  // §5.2/§6.3 invariant: past the repair window, the home agent must not
+  // keep tunneling toward a superseded binding. Only the HA's tunnels
+  // are constrained — stale cache agents and forwarding pointers repair
+  // lazily by design.
+  const net::IpAddress ha_addr(kHomeLanBase + 1);
+  audit::global_auditor().set_binding_oracle(
+      [this, ha_addr](net::IpAddress src, net::IpAddress mobile,
+                      net::IpAddress dst, sim::Time now) {
+        constexpr sim::Time kRepairWindow = sim::seconds(5);
+        if (src != ha_addr) return true;
+        const std::uint32_t raw = mobile.raw();
+        if (raw < kMobileBase || raw >= kMobileBase + mobiles.size()) {
+          return true;
+        }
+        const auto i = static_cast<std::size_t>(raw - kMobileBase);
+        if (ha_bindings_[i].is_unspecified()) return true;
+        if (dst == ha_bindings_[i]) return true;
+        return now - binding_changed_at_[i] <= kRepairWindow;
+      });
+  oracle_installed_ = true;
+}
+
+void ScaleWorld::note_fault(const faults::FaultEvent& event) {
+  using faults::FaultKind;
+  // A crashed foreign agent (node target j = FA j) or a partitioned cell
+  // (link targets 0..F-1 are the cells) orphans every mobile registered
+  // there; backbone faults have no single victim set, so only the
+  // aggregate plane stats record them.
+  if (event.kind == FaultKind::kNodeCrash ||
+      (event.kind == FaultKind::kLinkFail && event.target < cells.size())) {
+    open_outages_for(net::IpAddress(
+        kCellBase + static_cast<std::uint32_t>(event.target) * 256 + 1));
+  }
+}
+
+void ScaleWorld::open_outages_for(net::IpAddress foreign_agent) {
+  const sim::Time now = topo.sim().now();
+  for (std::size_t i = 0; i < mobiles.size(); ++i) {
+    if (mobiles[i]->state() != core::MobileHost::State::kForeign) continue;
+    if (mobiles[i]->current_agent() != foreign_agent) continue;
+    Outage& o = outages_[i];
+    if (o.recovery_start >= 0) continue;  // already inside an outage
+    o.recovery_start = now;
+    o.received_at_start = recorders_[i]->total().received;
+    if (o.staleness_start < 0) o.staleness_start = now;
+  }
+}
+
+void ScaleWorld::close_recovery(std::size_t i) {
+  if (i >= outages_.size()) return;
+  Outage& o = outages_[i];
+  if (o.recovery_start < 0) return;
+  const double elapsed =
+      sim::to_seconds(topo.sim().now() - o.recovery_start);
+  recovery_times_.push_back(elapsed);
+  const double expected = elapsed / sim::to_seconds(options.cbr_interval);
+  const double received = static_cast<double>(
+      recorders_[i]->total().received - o.received_at_start);
+  outage_losses_.push_back(std::max(0.0, expected - received));
+  o.recovery_start = -1;
 }
 
 ScaleRunStats ScaleWorld::run_for(sim::Time duration) {
@@ -255,7 +391,7 @@ std::size_t ScaleWorld::busiest_node_state() const {
 std::string ScaleWorld::metrics_digest() const {
   std::ostringstream out;
   out << "scaleworld n=" << options.routers << " f=" << options.foreign_agents
-      << " m=" << options.mobile_hosts << " seed=" << options.seed
+      << " m=" << options.mobile_hosts << " seed=" << options.protocol.seed
       << " now=" << topo.sim().now() << " events=" << events_executed_ << "\n";
   out << topology_digest(topo);
 
@@ -280,13 +416,23 @@ std::string ScaleWorld::metrics_digest() const {
         << "\n";
   }
 
-  out << "handoffs n=" << handoff_latencies_.size();
   char buf[32];
-  for (double v : handoff_latencies_) {
-    std::snprintf(buf, sizeof buf, " %.9e", v);
-    out << buf;
+  auto series = [&out, &buf](const char* tag, const std::vector<double>& v) {
+    out << tag << " n=" << v.size();
+    for (double x : v) {
+      std::snprintf(buf, sizeof buf, " %.9e", x);
+      out << buf;
+    }
+    out << "\n";
+  };
+  series("handoffs", handoff_latencies_);
+
+  if (fault_plane_) {
+    out << fault_plane_->digest();
+    series("recovery", recovery_times_);
+    series("outage_loss", outage_losses_);
+    series("staleness", binding_staleness_);
   }
-  out << "\n";
   return out.str();
 }
 

@@ -14,11 +14,32 @@
 #include <vector>
 
 #include "core/agent.hpp"
+#include "faults/fault_plane.hpp"
 #include "scenario/metrics.hpp"
+#include "scenario/protocol_options.hpp"
 #include "scenario/topology.hpp"
 #include "scenario/workload.hpp"
 
 namespace mhrp::scenario {
+
+/// Seeded chaos riding on top of a ScaleWorld run: Poisson link outages
+/// (cells and backbone circuits), foreign-agent crashes with reboot, and
+/// loss bursts, all drawn at start() into one FaultSchedule and driven by
+/// the world's FaultPlane. A disabled ChaosOptions costs nothing.
+struct ChaosOptions {
+  bool enabled = false;
+  std::uint64_t fault_seed = 0xfa17;   // schedule draw, separate from topo
+  sim::Time horizon = sim::seconds(60);  // faults are drawn over [0, horizon)
+  double cell_outages_per_sec = 0.0;
+  double backbone_outages_per_sec = 0.0;
+  sim::Time mean_outage = sim::seconds(2);
+  double fa_crashes_per_sec = 0.0;
+  sim::Time mean_downtime = sim::seconds(2);
+  bool preserve_persistent_state = true;  // reboot keeps the home database
+  double loss_bursts_per_sec = 0.0;
+  double burst_loss = 0.3;
+  sim::Time mean_burst = sim::seconds(1);
+};
 
 struct ScaleWorldOptions {
   enum class Backbone {
@@ -32,13 +53,13 @@ struct ScaleWorldOptions {
   int mobile_hosts = 8;     // M, <= 60000
   int correspondents = 2;   // CBR senders, round-robin over mobiles
   sim::Time link_latency = sim::millis(1);
-  sim::Time advertisement_period = sim::seconds(1);
   sim::Time mean_dwell = sim::seconds(5);  // per-cell dwell (exponential)
   sim::Time cbr_interval = sim::millis(200);
   std::size_t cbr_payload = 64;
-  sim::Time update_min_interval = sim::millis(100);
-  std::size_t max_list_length = 8;
-  std::uint64_t seed = 1;
+  /// Protocol knobs shared with every other scenario world.
+  ProtocolOptions protocol;
+  /// Fault injection (off by default; see ChaosOptions).
+  ChaosOptions chaos;
 };
 
 /// Wall-clock-free results of one run_for() slice (all values are
@@ -64,6 +85,7 @@ class ScaleWorld {
   net::Link* home_lan = nullptr;
   std::vector<node::Router*> routers;     // all N backbone routers
   std::vector<node::Router*> fa_routers;  // the F hosting foreign agents
+  std::vector<net::Link*> backbone_links;  // the /30 circuits, in build order
   std::vector<net::Link*> cells;
   std::vector<core::MobileHost*> mobiles;
   std::vector<node::Host*> correspondents;
@@ -85,6 +107,28 @@ class ScaleWorld {
   /// attach_to() to registration-complete), in completion order.
   [[nodiscard]] const std::vector<double>& handoff_latencies() const {
     return handoff_latencies_;
+  }
+
+  // ---- Chaos (populated only when options.chaos.enabled) ----
+
+  /// The fault plane driving the run, or nullptr with chaos disabled.
+  [[nodiscard]] faults::FaultPlane* fault_plane() {
+    return fault_plane_.get();
+  }
+  /// Seconds from each FA-crash / cell-partition outage to the affected
+  /// mobile's next completed registration, in completion order.
+  [[nodiscard]] const std::vector<double>& recovery_times() const {
+    return recovery_times_;
+  }
+  /// CBR packets lost per recovered outage (expected minus received
+  /// while the outage was open), aligned with recovery_times().
+  [[nodiscard]] const std::vector<double>& outage_losses() const {
+    return outage_losses_;
+  }
+  /// Seconds each outage left the home agent forwarding toward a dead
+  /// binding, measured from outage start to the HA's binding change.
+  [[nodiscard]] const std::vector<double>& binding_staleness() const {
+    return binding_staleness_;
   }
 
   /// Delivery statistics at the mobile hosts (per-flow and total).
@@ -111,11 +155,33 @@ class ScaleWorld {
   [[nodiscard]] std::string metrics_digest() const;
 
  private:
+  /// One mobile's open outage, if any (start < 0 = none). The recovery
+  /// clock closes at the next completed registration; the staleness
+  /// clock closes at the HA's next binding change for that host.
+  struct Outage {
+    sim::Time recovery_start = -1;
+    sim::Time staleness_start = -1;
+    std::uint64_t received_at_start = 0;
+  };
+
+  void arm_chaos();
+  void note_fault(const faults::FaultEvent& event);
+  void open_outages_for(net::IpAddress foreign_agent);
+  void close_recovery(std::size_t i);
+
   std::vector<std::unique_ptr<CbrFlow>> flows_;
   std::vector<std::unique_ptr<MovementSchedule>> schedules_;
   std::vector<std::unique_ptr<FlowRecorder>> recorders_;
   std::vector<sim::Time> attach_times_;  // per mobile, last attach_to()
   std::vector<double> handoff_latencies_;
+  std::unique_ptr<faults::FaultPlane> fault_plane_;
+  std::vector<Outage> outages_;  // per mobile
+  std::vector<double> recovery_times_;
+  std::vector<double> outage_losses_;
+  std::vector<double> binding_staleness_;
+  std::vector<net::IpAddress> ha_bindings_;      // per mobile, HA's view
+  std::vector<sim::Time> binding_changed_at_;    // per mobile
+  bool oracle_installed_ = false;
   std::uint64_t events_executed_ = 0;
   ScaleRunStats last_totals_;
   bool started_ = false;

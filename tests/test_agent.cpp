@@ -246,7 +246,7 @@ TEST(Agent, CrashPreservesHomeDatabaseAndClearsCache) {
   w.agent->cache().update(ip("10.9.0.5"), ip("10.8.0.1"));
   ASSERT_EQ(w.agent->cache().size(), 1u);
 
-  w.agent->crash_and_reboot();
+  w.agent->reboot();
   // "The database … should also be recorded on disk to survive any
   // crashes" (§2): rows persist; the volatile cache does not.
   EXPECT_EQ(w.agent->home_database_size(), 1u);

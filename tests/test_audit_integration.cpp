@@ -59,7 +59,7 @@ TEST(AuditIntegration, RoamingWorldWithOverflowRunsCleanUnderFullAudit) {
   // chains and the §4.4 overflow flush while the auditor watches.
   MhrpWorldOptions options;
   options.foreign_sites = 4;
-  options.max_list_length = 2;
+  options.protocol.max_list_length = 2;
   MhrpWorld w(options);
   PacketAuditor auditor;
   scenario::audit::attach(auditor, w);

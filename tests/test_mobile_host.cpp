@@ -30,7 +30,7 @@ TEST(MobileHost, StateWalk) {
 TEST(MobileHost, WaitsForPeriodicAdvertisementWhenNotSoliciting) {
   MhrpWorldOptions options;
   options.solicit_on_attach = false;
-  options.advertisement_period = sim::seconds(2);
+  options.protocol.advertisement_period = sim::seconds(2);
   MhrpWorld w(options);
   MobileHost& m = *w.mobiles[0];
 
@@ -46,7 +46,7 @@ TEST(MobileHost, WaitsForPeriodicAdvertisementWhenNotSoliciting) {
 TEST(MobileHost, SolicitationMakesDiscoveryImmediate) {
   MhrpWorldOptions options;
   options.solicit_on_attach = true;
-  options.advertisement_period = sim::seconds(30);  // way too slow to wait
+  options.protocol.advertisement_period = sim::seconds(30);  // way too slow to wait
   MhrpWorld w(options);
   const sim::Time before = w.topo.sim().now();
   ASSERT_TRUE(w.move_and_register(0, 0));
@@ -56,7 +56,7 @@ TEST(MobileHost, SolicitationMakesDiscoveryImmediate) {
 
 TEST(MobileHost, DetectsAgentLossWhenAdvertisementsStop) {
   MhrpWorldOptions options;
-  options.advertisement_period = sim::millis(500);
+  options.protocol.advertisement_period = sim::millis(500);
   // Passive discovery, so the silent agent is not revived by a
   // solicitation answer.
   options.solicit_on_attach = false;
@@ -78,7 +78,7 @@ TEST(MobileHost, ReregistersOnRebootQuery) {
   const auto regs = w.mobiles[0]->stats().registrations_completed;
 
   // Simulate the §5.2 broadcast from a rebooted FA.
-  w.fas[0]->crash_and_reboot();
+  w.fas[0]->reboot();
   core::RegMessage query{core::RegKind::kReconnectQuery, net::kUnspecified,
                          net::kUnspecified, 0};
   auto bytes = query.encode();
@@ -117,10 +117,10 @@ TEST(MobileHost, RegistrationSurvivesLossyCell) {
   // The cell drops 30% of frames; retransmission still completes the
   // §3 exchange.
   MhrpWorldOptions options;
-  options.seed = 99;
+  options.protocol.seed = 99;
   MhrpWorld w(options);
   util::Rng loss_rng(1234);
-  w.cells[0]->set_loss(0.3, loss_rng);
+  w.cells[0]->set_impairments(net::LinkImpairments{.loss = 0.3}, loss_rng);
   ASSERT_TRUE(w.move_and_register(0, 0, sim::seconds(60)));
   EXPECT_EQ(w.mobiles[0]->state(), MobileHost::State::kForeign);
   // Retransmissions happened (overwhelmingly likely at 30% loss across

@@ -45,8 +45,8 @@ TEST_P(MhrpWorldProperty, EveryMobileReachableWhereverItRegisters) {
   options.foreign_sites = shape.foreign_sites;
   options.mobile_hosts = shape.mobile_hosts;
   options.correspondents = shape.correspondents;
-  options.max_list_length = shape.max_list_length;
-  options.forwarding_pointers = shape.forwarding_pointers;
+  options.protocol.max_list_length = shape.max_list_length;
+  options.protocol.forwarding_pointers = shape.forwarding_pointers;
   MhrpWorld w(options);
 
   for (int i = 0; i < shape.mobile_hosts; ++i) {
@@ -65,11 +65,11 @@ TEST_P(MhrpWorldProperty, RandomizedWalkNeverStrandsTheMobileHost) {
   options.foreign_sites = shape.foreign_sites;
   options.mobile_hosts = 1;
   options.correspondents = 1;
-  options.max_list_length = shape.max_list_length;
-  options.forwarding_pointers = shape.forwarding_pointers;
-  options.seed = 7 + static_cast<std::uint64_t>(shape.foreign_sites);
+  options.protocol.max_list_length = shape.max_list_length;
+  options.protocol.forwarding_pointers = shape.forwarding_pointers;
+  options.protocol.seed = 7 + static_cast<std::uint64_t>(shape.foreign_sites);
   MhrpWorld w(options);
-  util::Rng rng(options.seed);
+  util::Rng rng(options.protocol.seed);
 
   for (int step = 0; step < 6; ++step) {
     // Random site, occasionally home.
@@ -89,8 +89,8 @@ TEST_P(MhrpWorldProperty, OverheadIsEightPlusFourPerListEntry) {
   options.foreign_sites = shape.foreign_sites;
   options.mobile_hosts = 1;
   options.correspondents = 1;
-  options.max_list_length = shape.max_list_length;
-  options.forwarding_pointers = shape.forwarding_pointers;
+  options.protocol.max_list_length = shape.max_list_length;
+  options.protocol.forwarding_pointers = shape.forwarding_pointers;
   MhrpWorld w(options);
   ASSERT_TRUE(w.move_and_register(0, 0));
 
@@ -124,8 +124,8 @@ TEST_P(MhrpWorldProperty, CachesConvergeAfterMove) {
   options.foreign_sites = shape.foreign_sites;
   options.mobile_hosts = 1;
   options.correspondents = shape.correspondents;
-  options.max_list_length = shape.max_list_length;
-  options.forwarding_pointers = shape.forwarding_pointers;
+  options.protocol.max_list_length = shape.max_list_length;
+  options.protocol.forwarding_pointers = shape.forwarding_pointers;
   MhrpWorld w(options);
   ASSERT_TRUE(w.move_and_register(0, 0));
 
@@ -150,8 +150,8 @@ TEST_P(MhrpWorldProperty, ZeroOverheadAtHomeAlways) {
   options.foreign_sites = shape.foreign_sites;
   options.mobile_hosts = 1;
   options.correspondents = 1;
-  options.max_list_length = shape.max_list_length;
-  options.forwarding_pointers = shape.forwarding_pointers;
+  options.protocol.max_list_length = shape.max_list_length;
+  options.protocol.forwarding_pointers = shape.forwarding_pointers;
   MhrpWorld w(options);
   // Roam, then come home — history must not leave residual overhead.
   ASSERT_TRUE(w.move_and_register(0, 0));

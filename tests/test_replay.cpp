@@ -64,7 +64,7 @@ MhrpReplayResult run_scripted_mhrp(std::uint64_t seed) {
   opt.foreign_sites = 3;
   opt.mobile_hosts = 2;
   opt.correspondents = 2;
-  opt.seed = seed;
+  opt.protocol.seed = seed;
   MhrpWorld world(opt);
   analysis::PacketAuditor auditor;  // after `world`: dies first
   audit::attach(auditor, world);
@@ -98,7 +98,7 @@ TEST(Replay, MhrpWorldDigestReflectsActivity) {
   // The digest must actually capture behavior: a world that never moved
   // differs from one that toured the foreign sites.
   MhrpWorldOptions opt;
-  opt.seed = 42;
+  opt.protocol.seed = 42;
   MhrpWorld idle(opt);
   idle.topo.sim().run_for(sim::seconds(1));
   MhrpReplayResult toured = run_scripted_mhrp(42);
@@ -112,7 +112,7 @@ ScaleWorldOptions scale_options(std::uint64_t seed, int routers) {
   opt.mobile_hosts = 24;
   opt.correspondents = 4;
   opt.mean_dwell = sim::seconds(2);
-  opt.seed = seed;
+  opt.protocol.seed = seed;
   return opt;
 }
 

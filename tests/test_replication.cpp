@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/replication.hpp"
+#include "faults/fault_plane.hpp"
 #include "scenario/topology.hpp"
 
 namespace mhrp {
@@ -176,6 +177,64 @@ TEST(Replication, RegistrationsReachTheBackupAfterTakeover) {
   ASSERT_TRUE(binding.has_value());
   EXPECT_EQ(*binding, ip("10.3.0.1"));
   EXPECT_GE(w.ha2->stats().registrations, 1u);
+}
+
+TEST(Replication, FaultPlaneCrashFailsOverWithinTheHeartbeatTimeout) {
+  ReplicatedWorld w;
+  ASSERT_TRUE(w.register_m_at_cell());
+
+  faults::FaultPlane plane(w.topo.sim(), 1);
+  plane.add_node(*w.ha1_host, w.ha1.get());
+  const sim::Time crash_at = w.topo.sim().now() + sim::seconds(1);
+  faults::FaultSchedule s;
+  faults::FaultEvent crash;
+  crash.at = crash_at;
+  crash.kind = faults::FaultKind::kNodeCrash;
+  crash.target = 0;
+  s.add(crash);
+  plane.load(s);
+
+  // Timeout is heartbeat_period (500ms) x missed_heartbeats (4) = 2s;
+  // allow one extra period of slack for the timer to fire.
+  w.topo.sim().run_until(crash_at + sim::millis(2600));
+  EXPECT_EQ(plane.stats().node_crashes, 1u);
+  EXPECT_EQ(w.repl2->takeovers(), 1u);
+  EXPECT_TRUE(w.repl2->is_active());
+  EXPECT_FALSE(w.ha2->passive());
+}
+
+TEST(Replication, RecoveredPrimaryLeavesExactlyOneActiveReplica) {
+  ReplicatedWorld w;
+  ASSERT_TRUE(w.register_m_at_cell());
+
+  faults::FaultPlane plane(w.topo.sim(), 1);
+  plane.add_node(*w.ha1_host, w.ha1.get());
+  faults::FaultSchedule s;
+  faults::FaultEvent crash;
+  crash.at = w.topo.sim().now() + sim::seconds(1);
+  crash.kind = faults::FaultKind::kNodeCrash;
+  crash.target = 0;
+  crash.duration = sim::seconds(4);
+  s.add(crash);
+  plane.load(s);
+
+  // Crash at +1s, backup takeover by +3s, reboot at +5s. Both replicas
+  // are then briefly active; the non-original one must step down as soon
+  // as it hears the original primary's active heartbeat.
+  w.topo.sim().run_for(sim::seconds(10));
+  EXPECT_EQ(w.repl2->takeovers(), 1u);
+  EXPECT_GE(w.repl2->stepdowns(), 1u);
+  EXPECT_TRUE(w.repl1->is_active());
+  EXPECT_FALSE(w.repl2->is_active());
+  EXPECT_FALSE(w.ha1->passive());
+  EXPECT_TRUE(w.ha2->passive());
+
+  // Exactly one interceptor: a cold correspondent still reaches M.
+  bool replied = false;
+  w.corr->ping(ip("10.1.0.77"),
+               [&](const node::Host::PingResult& r) { replied = r.replied; });
+  w.topo.sim().run_for(sim::seconds(15));
+  EXPECT_TRUE(replied);
 }
 
 }  // namespace

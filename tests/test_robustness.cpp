@@ -56,7 +56,7 @@ TEST(Robustness, FaRebootRecoversThroughHomeAgentUpdate) {
   ASSERT_TRUE(warm);
 
   // R4 loses its visiting list.
-  w.fa_r4->crash_and_reboot();
+  w.fa_r4->reboot();
   ASSERT_FALSE(w.fa_r4->is_visiting(w.m_address()));
 
   // S's next packet tunnels to R4, which has forgotten M: it re-tunnels
@@ -87,7 +87,7 @@ TEST(Robustness, FaRebootWithArpVerification) {
   (void)config;
   // (The option is exercised through a fresh world below.)
   ASSERT_TRUE(w.register_at_d());
-  w.fa_r4->crash_and_reboot();
+  w.fa_r4->reboot();
   // Deliver the recovery update by hand (what the HA would send).
   w.fa_r4->node().send_ip([&] {
     net::IpHeader h;
@@ -110,8 +110,8 @@ TEST(Robustness, FaRebootBroadcastSpeedsReregistration) {
 
   // Enable broadcast-on-reboot by rebuilding R4's agent config: simplest
   // is to flip the flag through a const_cast-free path — rebuild world
-  // config instead. Here we emulate by calling crash_and_reboot on an
-  // agent constructed with the flag.
+  // config instead. Here we emulate by calling reboot() on an agent
+  // constructed with the flag.
   core::AgentConfig fa_config;
   fa_config.foreign_agent = true;
   fa_config.cache_agent = true;

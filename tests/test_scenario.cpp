@@ -135,7 +135,7 @@ TEST(Links, DownLinkDropsSilently) {
   topo.connect(a, lan, ip("10.1.0.10"), 24);
   topo.connect(b, lan, ip("10.1.0.11"), 24);
   topo.install_static_routes();
-  lan.set_up(false);
+  lan.fail();
   bool replied = true;
   a.ping(ip("10.1.0.11"),
          [&](const node::Host::PingResult& r) { replied = r.replied; }, 16,
@@ -154,7 +154,7 @@ TEST(Links, LossProbabilityDropsSomeFrames) {
   topo.connect(b, lan, ip("10.1.0.11"), 24);
   topo.install_static_routes();
   util::Rng rng(7);
-  lan.set_loss(0.5, rng);
+  lan.set_impairments(net::LinkImpairments{.loss = 0.5}, rng);
   int replies = 0;
   int done = 0;
   for (int i = 0; i < 40; ++i) {
@@ -170,10 +170,11 @@ TEST(Links, LossProbabilityDropsSomeFrames) {
   EXPECT_LT(replies, 40);
 }
 
-TEST(Links, ClearLossReleasesTheCallerRng) {
-  // set_loss() borrows the caller's RNG by reference; clear_loss() must
-  // drop that reference so the RNG may die before the link. (Under the
-  // ASan CI config a stale reference here is a use-after-scope.)
+TEST(Links, ClearImpairmentsReleasesTheCallerRng) {
+  // set_impairments() borrows the caller's RNG by reference;
+  // clear_impairments() must drop that reference so the RNG may die
+  // before the link. (Under the ASan CI config a stale reference here is
+  // a use-after-scope.)
   Topology topo;
   auto& lan = topo.add_link("lan", sim::millis(1));
   auto& a = topo.add_host("A");
@@ -187,11 +188,12 @@ TEST(Links, ClearLossReleasesTheCallerRng) {
   };
   {
     util::Rng rng(99);
-    lan.set_loss(1.0, rng);  // certain loss while the model is armed
+    lan.set_impairments(net::LinkImpairments{.loss = 1.0},
+                        rng);  // certain loss while the model is armed
     a.ping(ip("10.1.0.11"), count, 16, sim::seconds(2));
     topo.sim().run_for(sim::seconds(5));
     EXPECT_EQ(replies, 0);
-    lan.clear_loss();
+    lan.clear_impairments();
   }  // rng destroyed; the link must not have kept a pointer to it
   a.ping(ip("10.1.0.11"), count, 16, sim::seconds(2));
   topo.sim().run_for(sim::seconds(5));

@@ -125,7 +125,7 @@ TEST(Stream, BidirectionalEcho) {
 TEST(Stream, SurvivesHeavyLoss) {
   StreamLan w;
   util::Rng rng(99);
-  w.topo.find_link("lan2")->set_loss(0.25, rng);
+  w.topo.find_link("lan2")->set_impairments(net::LinkImpairments{.loss = 0.25}, rng);
 
   StreamSocket server(*w.b, 80);
   StreamSocket client(*w.a, 4000);
