@@ -1,0 +1,351 @@
+// E-store — durability cost and crash consistency of the home-agent
+// database (§2: the location database is "recorded on disk to survive
+// any crashes and subsequent reboots"). Three measurements:
+//
+//   * raw WAL throughput — appends/sec against the SimDisk under each
+//     sync policy (per-record sync, group commit of 4, no sync), plus
+//     recovery time for a log of the same size;
+//   * the registration hot path — a seeded ScaleWorld run per policy
+//     (disabled / kSync / kInterval / kAsync), reporting registrations,
+//     handoff-latency percentiles, and events/sec, so the ack-latency
+//     cost of group commit and the wall cost of per-record sync are
+//     visible side by side;
+//   * crash-point fuzzing — the CrashConsistencyChecker samples seeded
+//     (persist step, torn?, tear offset) crashes under every policy and
+//     the run FAILS (exit 1) on any prefix or durable-ack violation.
+//     kAsync's acked-then-lost count is the experiment's headline: the
+//     quantified price of acking ahead of the disk.
+//
+// Usage: bench_store [--small] [--fuzz N] [--out PATH]
+//   --small    CI smoke: tiny worlds, short fuzz
+//   --fuzz N   crash-point budget per policy (default 1000)
+//   --out PATH where to write the JSON report (default BENCH_store.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/crash_checker.hpp"
+#include "scenario/metrics.hpp"
+#include "scenario/scale_world.hpp"
+#include "store/sim_disk.hpp"
+#include "store/wal_store.hpp"
+
+using namespace mhrp;
+
+namespace {
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+store::StoreOptions bench_store_options(store::SyncPolicy policy) {
+  store::StoreOptions o;
+  o.enabled = true;
+  o.sync_policy = policy;
+  o.sector_size = 512;
+  o.disk_sectors = 4096;
+  o.snapshot_region_sectors = 256;
+  o.snapshot_every = 1024;
+  return o;
+}
+
+// ---- Raw WAL throughput ----
+
+struct WalPoint {
+  std::string policy;
+  std::uint64_t records = 0;
+  double append_wall_s = 0;
+  double appends_per_s = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t snapshots = 0;
+  double recover_wall_s = 0;
+  std::uint64_t records_replayed = 0;
+};
+
+WalPoint run_wal_point(store::SyncPolicy policy, std::uint64_t records) {
+  store::StoreOptions o = bench_store_options(policy);
+  store::SimDisk disk(o.sector_size, o.disk_sectors);
+  store::WalStore wal(disk, o);
+  wal.format();
+
+  const std::uint32_t group = 4;  // kInterval's modeled commit size
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < records; ++i) {
+    store::WalRecord r;
+    r.kind = store::WalRecord::Kind::kBinding;
+    r.mobile_host = net::IpAddress(0x0A010064u + std::uint32_t(i % 64));
+    r.foreign_agent = net::IpAddress(0x0A020001u + std::uint32_t(i % 7));
+    r.sequence = std::uint32_t(i);
+    wal.append(r);
+    const bool commit =
+        policy == store::SyncPolicy::kSync ||
+        (policy == store::SyncPolicy::kInterval && (i + 1) % group == 0);
+    if (commit && !wal.sync()) {
+      std::fprintf(stderr, "unexpected wal crash during bench\n");
+      std::exit(1);
+    }
+  }
+  if (!wal.sync()) std::exit(1);
+  const double wall = wall_seconds_since(start);
+
+  WalPoint p;
+  p.policy = store::to_string(policy);
+  p.records = records;
+  p.append_wall_s = wall;
+  p.appends_per_s = double(records) / wall;
+  p.syncs = wal.stats().syncs;
+  p.snapshots = wal.stats().snapshots;
+
+  store::WalStore reopened(disk, o);
+  const auto rstart = std::chrono::steady_clock::now();
+  const store::RecoveryStats rs = reopened.recover();
+  p.recover_wall_s = wall_seconds_since(rstart);
+  p.records_replayed = rs.records_replayed;
+  return p;
+}
+
+// ---- Registration hot path ----
+
+struct RegPoint {
+  std::string policy;  // "disabled" or a sync policy
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  double events_per_s = 0;
+  std::uint64_t registrations = 0;
+  std::uint64_t wal_appends = 0;
+  std::uint64_t disk_syncs = 0;
+  std::uint64_t acks_deferred = 0;
+  scenario::PercentileSummary handoff{};
+};
+
+RegPoint run_reg_point(bool enabled, store::SyncPolicy policy,
+                       double sim_secs, int routers, int mobiles) {
+  scenario::ScaleWorldOptions opt;
+  opt.routers = routers;
+  opt.mobile_hosts = mobiles;
+  opt.foreign_agents = 4;
+  opt.correspondents = 2;
+  opt.mean_dwell = sim::seconds(2);
+  opt.protocol.seed = 1;
+  if (enabled) {
+    opt.protocol.store = bench_store_options(policy);
+  }
+  scenario::ScaleWorld world(opt);
+  world.start();
+  world.run_for(sim::seconds(2));  // warm-up
+
+  const auto start = std::chrono::steady_clock::now();
+  const scenario::ScaleRunStats stats =
+      world.run_for(sim::from_seconds(sim_secs));
+  const double wall = wall_seconds_since(start);
+
+  RegPoint p;
+  p.policy = enabled ? store::to_string(policy) : "disabled";
+  p.sim_seconds = sim_secs;
+  p.wall_seconds = wall;
+  p.events_per_s = double(stats.events_executed) / wall;
+  p.registrations = stats.registrations;
+  p.handoff = scenario::summarize(world.handoff_latencies());
+  if (world.ha_store != nullptr) {
+    p.wal_appends = world.ha_store->wal().stats().appends;
+    p.disk_syncs = world.ha_store->disk().stats().syncs;
+    p.acks_deferred = world.ha->stats().acks_deferred;
+  }
+  return p;
+}
+
+// ---- Crash-point fuzzing ----
+
+struct FuzzPoint {
+  std::string policy;
+  analysis::CrashCheckerResult result{};
+};
+
+FuzzPoint run_fuzz_point(store::SyncPolicy policy, std::uint64_t budget,
+                         bool& violations_seen) {
+  analysis::CrashCheckerOptions o;
+  o.store = bench_store_options(policy);
+  o.store.disk_sectors = 512;
+  o.store.snapshot_region_sectors = 32;
+  o.store.snapshot_every = 64;
+  o.workload_records = 160;
+  o.mobiles = 6;
+  o.sync_every = 4;
+  o.seed = 0xD15C;  // fixed: CI compares runs across commits
+  analysis::CrashConsistencyChecker checker(o);
+  analysis::AuditReport report;
+
+  FuzzPoint p;
+  p.policy = store::to_string(policy);
+  p.result = checker.fuzz(budget, report);
+  if (!p.result.clean()) {
+    violations_seen = true;
+    std::fprintf(stderr, "VIOLATIONS under %s:\n%s%s\n", p.policy.c_str(),
+                 p.result.summary().c_str(), report.to_string().c_str());
+  }
+  return p;
+}
+
+// ---- Reporting ----
+
+void write_json(const std::string& path, bool small,
+                const std::vector<WalPoint>& wal,
+                const std::vector<RegPoint>& reg,
+                const std::vector<FuzzPoint>& fuzz) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_store\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", small ? "small" : "full");
+  std::fprintf(f, "  \"wal\": [\n");
+  for (std::size_t i = 0; i < wal.size(); ++i) {
+    const WalPoint& p = wal[i];
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"records\": %llu, "
+                 "\"appends_per_sec\": %.0f, \"syncs\": %llu, "
+                 "\"snapshots\": %llu, \"recover_wall_s\": %.6f, "
+                 "\"records_replayed\": %llu}%s\n",
+                 p.policy.c_str(),
+                 static_cast<unsigned long long>(p.records), p.appends_per_s,
+                 static_cast<unsigned long long>(p.syncs),
+                 static_cast<unsigned long long>(p.snapshots),
+                 p.recover_wall_s,
+                 static_cast<unsigned long long>(p.records_replayed),
+                 i + 1 < wal.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"registration_path\": [\n");
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const RegPoint& p = reg[i];
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"sim_seconds\": %.1f, "
+                 "\"wall_seconds\": %.4f, \"events_per_sec\": %.0f, "
+                 "\"registrations\": %llu, \"wal_appends\": %llu, "
+                 "\"disk_syncs\": %llu, \"acks_deferred\": %llu, "
+                 "\"handoff_s\": {\"count\": %llu, \"p50\": %.4f, "
+                 "\"p90\": %.4f, \"p99\": %.4f, \"max\": %.4f}}%s\n",
+                 p.policy.c_str(), p.sim_seconds, p.wall_seconds,
+                 p.events_per_s,
+                 static_cast<unsigned long long>(p.registrations),
+                 static_cast<unsigned long long>(p.wal_appends),
+                 static_cast<unsigned long long>(p.disk_syncs),
+                 static_cast<unsigned long long>(p.acks_deferred),
+                 static_cast<unsigned long long>(p.handoff.count),
+                 p.handoff.p50, p.handoff.p90, p.handoff.p99, p.handoff.max,
+                 i + 1 < reg.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"crash_fuzz\": [\n");
+  for (std::size_t i = 0; i < fuzz.size(); ++i) {
+    const analysis::CrashCheckerResult& r = fuzz[i].result;
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"runs\": %llu, "
+                 "\"crash_points\": %llu, \"torn_runs\": %llu, "
+                 "\"acked_before_crash\": %llu, \"acked_lost\": %llu, "
+                 "\"prefix_violations\": %llu, \"ack_violations\": %llu, "
+                 "\"determinism_violations\": %llu}%s\n",
+                 fuzz[i].policy.c_str(),
+                 static_cast<unsigned long long>(r.runs),
+                 static_cast<unsigned long long>(r.crash_points),
+                 static_cast<unsigned long long>(r.torn_runs),
+                 static_cast<unsigned long long>(r.acked_before_crash),
+                 static_cast<unsigned long long>(r.acked_lost),
+                 static_cast<unsigned long long>(r.prefix_violations),
+                 static_cast<unsigned long long>(r.ack_violations),
+                 static_cast<unsigned long long>(r.determinism_violations),
+                 i + 1 < fuzz.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  std::uint64_t fuzz_budget = 1000;
+  bool fuzz_given = false;
+  std::string out = "BENCH_store.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else if (std::strcmp(argv[i], "--fuzz") == 0 && i + 1 < argc) {
+      fuzz_budget = std::strtoull(argv[++i], nullptr, 10);
+      fuzz_given = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--small] [--fuzz N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("E-store: durability cost and crash consistency (§2)\n");
+
+  const std::uint64_t wal_records = small ? 20000 : 200000;
+  std::vector<WalPoint> wal;
+  std::printf("\n  raw WAL (%llu records):\n",
+              static_cast<unsigned long long>(wal_records));
+  for (auto policy : {store::SyncPolicy::kSync, store::SyncPolicy::kInterval,
+                      store::SyncPolicy::kAsync}) {
+    WalPoint p = run_wal_point(policy, wal_records);
+    std::printf("    %-8s | %9.0f appends/s | %6llu syncs | "
+                "recover %llu records in %.4fs\n",
+                p.policy.c_str(), p.appends_per_s,
+                static_cast<unsigned long long>(p.syncs),
+                static_cast<unsigned long long>(p.records_replayed),
+                p.recover_wall_s);
+    wal.push_back(p);
+  }
+
+  const double sim_secs = small ? 10 : 40;
+  const int routers = small ? 9 : 36;
+  const int mobiles = small ? 8 : 48;
+  std::vector<RegPoint> reg;
+  std::printf("\n  registration path (N=%d M=%d, %.0fs sim):\n", routers,
+              mobiles, sim_secs);
+  reg.push_back(run_reg_point(false, store::SyncPolicy::kSync, sim_secs,
+                              routers, mobiles));
+  for (auto policy : {store::SyncPolicy::kSync, store::SyncPolicy::kInterval,
+                      store::SyncPolicy::kAsync}) {
+    reg.push_back(run_reg_point(true, policy, sim_secs, routers, mobiles));
+  }
+  for (const RegPoint& p : reg) {
+    std::printf("    %-8s | %7.0f events/s | %5llu regs | "
+                "handoff p50=%.3fs p99=%.3fs | %llu syncs\n",
+                p.policy.c_str(), p.events_per_s,
+                static_cast<unsigned long long>(p.registrations),
+                p.handoff.p50, p.handoff.p99,
+                static_cast<unsigned long long>(p.disk_syncs));
+  }
+
+  const std::uint64_t budget = small && !fuzz_given ? 200 : fuzz_budget;
+  bool violations = false;
+  std::vector<FuzzPoint> fuzz;
+  std::printf("\n  crash fuzz (%llu points/policy, seed 0xD15C):\n",
+              static_cast<unsigned long long>(budget));
+  for (auto policy : {store::SyncPolicy::kSync, store::SyncPolicy::kInterval,
+                      store::SyncPolicy::kAsync}) {
+    FuzzPoint p = run_fuzz_point(policy, budget, violations);
+    std::printf("    %-8s | %s\n", p.policy.c_str(),
+                p.result.summary().c_str());
+    fuzz.push_back(p);
+  }
+
+  write_json(out, small, wal, reg, fuzz);
+  if (violations) {
+    std::fprintf(stderr, "\nCRASH-CONSISTENCY VIOLATIONS — failing\n");
+    return 1;
+  }
+  return 0;
+}

@@ -34,6 +34,14 @@ constexpr std::array<InvariantInfo, kInvariantCount> kCatalogue{{
      "§5.2, §6.3",
      "past the repair window, no agent tunnels toward a superseded "
      "foreign-agent binding"},
+    {InvariantId::kWalPrefixConsistent, "wal-prefix-consistent",
+     "§2 / DESIGN §10",
+     "store recovery yields the state after some prefix of the logged "
+     "history, no shorter than the durable prefix"},
+    {InvariantId::kDurableAckNotLost, "durable-ack-not-lost",
+     "§4.2 / DESIGN §10",
+     "a registration acked under a durable sync policy survives any "
+     "crash-and-recover"},
 }};
 
 }  // namespace

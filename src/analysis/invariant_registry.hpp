@@ -57,9 +57,20 @@ enum class InvariantId : std::uint8_t {
   /// agent (§5.2/§6.3 lazy repair must converge). Checked against a
   /// scenario-supplied binding oracle.
   kStaleBindingForwarding,
+  /// Recovery of the home agent's durable store always yields a prefix
+  /// of the logged mutation history: the recovered database equals the
+  /// state after the first N logged records for some N, with N at least
+  /// the count made durable before the crash (§2's "recorded on disk to
+  /// survive any crashes"; DESIGN §10).
+  kWalPrefixConsistent,
+  /// A registration acknowledged under a durable sync policy (kSync,
+  /// kInterval) is never lost by a crash: the recovered database
+  /// contains every acked binding (§4.2's registration contract extended
+  /// over reboots).
+  kDurableAckNotLost,
 };
 
-inline constexpr std::size_t kInvariantCount = 11;
+inline constexpr std::size_t kInvariantCount = 13;
 
 [[nodiscard]] constexpr std::size_t index_of(InvariantId id) {
   return static_cast<std::size_t>(id);

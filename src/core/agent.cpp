@@ -74,7 +74,60 @@ void MhrpAgent::provision_mobile_host(IpAddress mobile_host) {
   HomeRow row;
   row.foreign_agent = net::kUnspecified;  // at home
   row.home_iface = home_iface;
-  home_db_.emplace(mobile_host, row);
+  if (home_db_.emplace(mobile_host, row).second) {
+    (void)log_mutation(store::WalRecord::Kind::kProvision, mobile_host,
+                       net::kUnspecified, 0);
+  }
+}
+
+void MhrpAgent::attach_store(store::HomeStore& store) {
+  store_ = &store;
+  store_->on_durable = [this](store::Lsn durable) {
+    release_pending_acks(durable);
+  };
+  // Scenarios may provision before attaching; bring the log up to date
+  // with whatever the database already holds.
+  for (const auto& [mobile_host, row] : home_db_) {
+    (void)log_mutation(store::WalRecord::Kind::kProvision, mobile_host,
+                       net::kUnspecified, 0);
+    if (!row.foreign_agent.is_unspecified()) {
+      (void)log_mutation(store::WalRecord::Kind::kBinding, mobile_host,
+                         row.foreign_agent, row.last_sequence);
+    }
+  }
+}
+
+store::HomeStore::Ticket MhrpAgent::log_mutation(store::WalRecord::Kind kind,
+                                                 IpAddress mobile_host,
+                                                 IpAddress foreign_agent,
+                                                 std::uint32_t sequence) {
+  if (store_ == nullptr || restoring_) return {0, true};
+  ++stats_.bindings_logged;
+  return store_->log({kind, mobile_host, foreign_agent, sequence});
+}
+
+void MhrpAgent::release_pending_acks(store::Lsn durable) {
+  while (!pending_acks_.empty() && pending_acks_.begin()->first <= durable) {
+    auto entry = pending_acks_.extract(pending_acks_.begin());
+    ++stats_.acks_released;
+    auto bytes = entry.mapped().reply.encode();
+    node_.send_udp(entry.mapped().dst, kRegistrationPort, kRegistrationPort,
+                   bytes);
+  }
+}
+
+void MhrpAgent::restore_from_store() {
+  restoring_ = true;
+  home_db_.clear();
+  for (const auto& [mobile_host, recovered] : store_->state()) {
+    provision_mobile_host(mobile_host);
+    auto it = home_db_.find(mobile_host);
+    it->second.last_sequence = recovered.sequence;
+    if (!recovered.foreign_agent.is_unspecified()) {
+      set_home_binding(mobile_host, recovered.foreign_agent, it->second);
+    }
+  }
+  restoring_ = false;
 }
 
 std::optional<IpAddress> MhrpAgent::home_binding(IpAddress mobile_host) const {
@@ -135,6 +188,9 @@ void MhrpAgent::apply_replicated_binding(IpAddress mobile_host,
     it = home_db_.find(mobile_host);
   }
   set_home_binding(mobile_host, foreign_agent, it->second);
+  // A replica's copy is durable too — it may be promoted after a crash.
+  (void)log_mutation(store::WalRecord::Kind::kBinding, mobile_host,
+                     foreign_agent, it->second.last_sequence);
 }
 
 std::vector<std::pair<IpAddress, IpAddress>> MhrpAgent::home_bindings()
@@ -680,10 +736,24 @@ void MhrpAgent::on_registration(const net::UdpDatagram& datagram,
       row.last_sequence = m.sequence;
       set_home_binding(m.mobile_host, m.foreign_agent, row);
       ++stats_.registrations;
-      // The ack is routed normally; if the host is away our own egress
-      // hook tunnels it through the freshly recorded foreign agent.
       RegMessage ack{RegKind::kHomeRegisterAck, m.mobile_host,
                      m.foreign_agent, m.sequence};
+      // §2 durability: the binding is logged before the ack leaves.
+      // Under kSync the ticket says ack-now only once the record is on
+      // the media; under group commit (kInterval) the ack is parked
+      // until the record's sync completes; kAsync acks immediately and
+      // accepts the documented loss window.
+      const store::HomeStore::Ticket ticket = log_mutation(
+          store::WalRecord::Kind::kBinding, m.mobile_host, m.foreign_agent,
+          m.sequence);
+      if (store_ != nullptr && !ticket.ack_now) {
+        if (ticket.lsn == 0) return;  // store crashed under the append
+        ++stats_.acks_deferred;
+        pending_acks_[ticket.lsn] = PendingAck{m.mobile_host, ack};
+        return;
+      }
+      // The ack is routed normally; if the host is away our own egress
+      // hook tunnels it through the freshly recorded foreign agent.
       auto bytes = ack.encode();
       node_.send_udp(m.mobile_host, kRegistrationPort, kRegistrationPort,
                      bytes);
@@ -728,10 +798,28 @@ void MhrpAgent::reboot(bool preserve_home_database) {
   cache_.clear();
   limiter_ = UpdateRateLimiter(config_.update_min_interval,
                                config_.rate_limiter_capacity);
+  // Registration replies parked for a group commit died with the
+  // process, whichever way the disk fared; the mobile host's §3
+  // retransmission is what recovers the handshake.
+  stats_.acks_dropped_on_crash += pending_acks_.size();
+  pending_acks_.clear();
   // The home database is "recorded on disk to survive any crashes and
   // subsequent reboots" (paper §2) — it persists unless the caller
-  // models losing the disk as well.
-  if (!preserve_home_database) home_db_.clear();
+  // models losing the disk as well. With a store attached, "persists"
+  // means whatever store recovery yields: the write cache is gone, so a
+  // binding that never reached the media is honestly lost.
+  if (store_ != nullptr) {
+    if (preserve_home_database) {
+      if (!store_->down()) store_->crash();
+      (void)store_->recover();
+      restore_from_store();
+    } else {
+      store_->reset();
+      home_db_.clear();
+    }
+  } else if (!preserve_home_database) {
+    home_db_.clear();
+  }
   if (config_.reregister_broadcast_on_reboot) {
     RegMessage query{RegKind::kReconnectQuery, net::kUnspecified,
                      net::kUnspecified, 0};

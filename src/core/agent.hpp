@@ -32,6 +32,7 @@
 #include "core/registration.hpp"
 #include "node/node.hpp"
 #include "sim/timer.hpp"
+#include "store/home_store.hpp"
 
 namespace mhrp::core {
 
@@ -89,6 +90,10 @@ struct AgentStats {
   std::uint64_t recovery_readds = 0;       // §5.2 visitor re-adds
   std::uint64_t registrations = 0;
   std::uint64_t dropped_disconnected = 0;  // HA drops for detached hosts
+  std::uint64_t bindings_logged = 0;       // mutations sent to the store
+  std::uint64_t acks_deferred = 0;         // held for a group commit
+  std::uint64_t acks_released = 0;         // sent once durable
+  std::uint64_t acks_dropped_on_crash = 0; // pending acks a reboot cleared
 };
 
 class MhrpAgent {
@@ -155,6 +160,19 @@ class MhrpAgent {
   void apply_replicated_binding(net::IpAddress mobile_host,
                                 net::IpAddress foreign_agent);
 
+  /// Attach a durable store (paper §2: the database is "recorded on disk
+  /// to survive any crashes and subsequent reboots"). Every HomeRow
+  /// mutation is logged *before* its registration ack goes out; under
+  /// the interval sync policy the ack is held until the record's group
+  /// commit completes. The store must outlive the agent.
+  void attach_store(store::HomeStore& store);
+  [[nodiscard]] store::HomeStore* home_store() { return store_; }
+
+  /// Registration acks currently parked awaiting a group commit.
+  [[nodiscard]] std::size_t pending_ack_count() const {
+    return pending_acks_.size();
+  }
+
   /// Every (mobile host, binding) row, for replica bootstrap and tests.
   [[nodiscard]] std::vector<std::pair<net::IpAddress, net::IpAddress>>
   home_bindings() const;
@@ -179,9 +197,14 @@ class MhrpAgent {
   /// disk is lost too, modeling a replica rebuilt from scratch.
   /// Optionally broadcasts the §5.2 re-register query afterwards. The
   /// fault plane calls this when it reboots a crashed node.
+  ///
+  /// With a store attached, `preserve_home_database` means "the disk
+  /// survived": the database is rebuilt by store recovery (so anything
+  /// that never became durable is genuinely gone), while `false` wipes
+  /// the disk too. Registration acks still awaiting a group commit are
+  /// dropped either way — the crash ate them, and the mobile host's
+  /// retransmission is what recovers.
   void reboot(bool preserve_home_database = true);
-
-  [[deprecated("use reboot()")]] void crash_and_reboot() { reboot(); }
 
   /// Send a location update about `mobile_host` to `dst`, rate limited.
   /// Exposed for the mobile host (which reports "I am home", §6.3) and
@@ -207,6 +230,11 @@ class MhrpAgent {
     std::uint32_t last_sequence = 0;
     net::Interface* iface = nullptr;
   };
+  /// A registration reply held back until its WAL record is durable.
+  struct PendingAck {
+    net::IpAddress dst;
+    RegMessage reply;
+  };
 
   // Node-stack hooks.
   void on_egress(net::Packet& packet);
@@ -222,6 +250,14 @@ class MhrpAgent {
   void home_handle_tunneled(net::Packet& packet);
   void set_home_binding(net::IpAddress mobile_host, net::IpAddress fa,
                         HomeRow& row);
+  /// Log one mutation to the attached store (no-op without one). Returns
+  /// the ticket deciding when the caller may ack.
+  store::HomeStore::Ticket log_mutation(store::WalRecord::Kind kind,
+                                        net::IpAddress mobile_host,
+                                        net::IpAddress foreign_agent,
+                                        std::uint32_t sequence);
+  void release_pending_acks(store::Lsn durable);
+  void restore_from_store();
 
   // Foreign/cache-agent pieces.
   void deliver_to_visitor(net::Packet packet);
@@ -242,6 +278,9 @@ class MhrpAgent {
   std::vector<net::Interface*> served_;
   std::map<net::IpAddress, HomeRow> home_db_;   // persistent (survives crash)
   std::map<net::IpAddress, Visitor> visiting_;  // volatile
+  store::HomeStore* store_ = nullptr;
+  std::map<store::Lsn, PendingAck> pending_acks_;  // volatile
+  bool restoring_ = false;  // suppress logging while replaying recovery
   std::uint16_t advertisement_sequence_ = 0;
   bool passive_ = false;
 };

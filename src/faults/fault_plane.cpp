@@ -134,11 +134,18 @@ void FaultPlane::apply(const FaultEvent& event) {
       impaired_.at(event.target) = false;
       ++stats_.impairments_cleared;
       break;
-    case FaultKind::kNodeCrash:
-      nodes_.at(event.target).node->fail();
+    case FaultKind::kNodeCrash: {
+      NodeTarget& t = nodes_.at(event.target);
+      t.node->fail();
+      // The power goes at crash time, not reboot time: whatever the
+      // store's volatile write cache held is lost *now*.
+      if (t.agent != nullptr && t.agent->home_store() != nullptr) {
+        t.agent->home_store()->crash();
+      }
       ++stats_.node_crashes;
       schedule_inverse(FaultKind::kNodeReboot);
       break;
+    }
     case FaultKind::kNodeReboot: {
       NodeTarget& t = nodes_.at(event.target);
       t.node->recover();
@@ -146,6 +153,22 @@ void FaultPlane::apply(const FaultEvent& event) {
       // volatile protocol state (§5.2) is what a reboot loses.
       if (t.agent != nullptr) t.agent->reboot(event.preserve_persistent_state);
       ++stats_.node_reboots;
+      break;
+    }
+    case FaultKind::kDiskReadError: {
+      NodeTarget& t = nodes_.at(event.target);
+      if (t.agent != nullptr && t.agent->home_store() != nullptr) {
+        t.agent->home_store()->disk().arm_read_errors();
+        ++stats_.disk_error_windows;
+        schedule_inverse(FaultKind::kDiskReadClear);
+      }
+      break;
+    }
+    case FaultKind::kDiskReadClear: {
+      NodeTarget& t = nodes_.at(event.target);
+      if (t.agent != nullptr && t.agent->home_store() != nullptr) {
+        t.agent->home_store()->disk().clear_read_errors();
+      }
       break;
     }
     case FaultKind::kDropRegistration:
@@ -189,7 +212,8 @@ std::string FaultPlane::digest() const {
       << " reboots=" << stats_.node_reboots
       << " dropwin=" << stats_.drop_windows_opened << "/"
       << stats_.drop_windows_closed
-      << " dropped=" << stats_.messages_dropped << "\n";
+      << " dropped=" << stats_.messages_dropped
+      << " diskerr=" << stats_.disk_error_windows << "\n";
   return out.str();
 }
 

@@ -33,6 +33,7 @@ struct FaultPlaneStats {
   std::uint64_t drop_windows_opened = 0;
   std::uint64_t drop_windows_closed = 0;
   std::uint64_t messages_dropped = 0;  // by the targeted drop filters
+  std::uint64_t disk_error_windows = 0;  // kDiskReadError applied
 };
 
 class FaultPlane {

@@ -16,6 +16,8 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kDropRegistration: return "drop-registration";
     case FaultKind::kDropLocationUpdates: return "drop-location-updates";
     case FaultKind::kDropIcmp: return "drop-icmp";
+    case FaultKind::kDiskReadError: return "disk-read-error";
+    case FaultKind::kDiskReadClear: return "disk-read-clear";
   }
   return "unknown";
 }

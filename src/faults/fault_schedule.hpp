@@ -29,6 +29,8 @@ enum class FaultKind : std::uint8_t {
   kDropRegistration,     // drop §3 registration traffic at the node
   kDropLocationUpdates,  // drop §4.3 location updates at the node
   kDropIcmp,             // drop all ICMP at the node
+  kDiskReadError,        // the node's store disk refuses reads
+  kDiskReadClear,        // reads work again
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);

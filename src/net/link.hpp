@@ -110,19 +110,6 @@ class Link {
     return impairments_;
   }
 
-  [[deprecated("use fail()/recover()")]] void set_up(bool up) {
-    up ? recover() : fail();
-  }
-  [[deprecated("use set_impairments()")]] void set_loss(double probability,
-                                                        util::Rng& rng) {
-    LinkImpairments imp;
-    imp.loss = probability;
-    set_impairments(imp, rng);
-  }
-  [[deprecated("use clear_impairments()")]] void clear_loss() {
-    clear_impairments();
-  }
-
   /// Transmit from `from` (which must be attached). Schedules delivery to
   /// the matching member(s) after the link delay.
   void transmit(const Interface& from, Frame frame);

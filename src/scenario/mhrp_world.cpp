@@ -72,6 +72,13 @@ MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
   ha_config.update_min_interval = opts.protocol.update_min_interval;
   ha = std::make_unique<core::MhrpAgent>(*home_router, ha_config);
   ha->serve_on(ha_iface);
+  if (opts.protocol.store.enabled) {
+    // Attach the disk before provisioning so every row ever created is
+    // in the log from the start.
+    ha_store = std::make_unique<store::HomeStore>(topo.sim(),
+                                                  opts.protocol.store);
+    ha->attach_store(*ha_store);
+  }
   for (int i = 0; i < opts.mobile_hosts; ++i) {
     ha->provision_mobile_host(mobile_address(i));
   }

@@ -42,6 +42,8 @@ class MhrpWorld {
   std::vector<node::Host*> correspondents;
 
   std::unique_ptr<core::MhrpAgent> ha;
+  /// The HA's durable database, present when protocol.store.enabled.
+  std::unique_ptr<store::HomeStore> ha_store;
   std::vector<std::unique_ptr<core::MhrpAgent>> fas;
   std::vector<std::unique_ptr<core::MhrpAgent>> corr_agents;
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "sim/time.hpp"
+#include "store/store_options.hpp"
 
 namespace mhrp::scenario {
 
@@ -26,6 +27,11 @@ struct ProtocolOptions {
   std::size_t icmp_quote_limit = 28;
   /// Master seed: topology construction order, movement, workload.
   std::uint64_t seed = 1;
+  /// §2 durable home-agent database (src/store). Disabled by default:
+  /// the legacy model keeps the database in memory across reboots.
+  /// Enabling it gives every home agent a SimDisk-backed WAL whose sync
+  /// policy decides when registration acks may leave.
+  store::StoreOptions store;
 };
 
 }  // namespace mhrp::scenario

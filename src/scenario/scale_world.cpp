@@ -133,6 +133,13 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
   ha_config.update_min_interval = options.protocol.update_min_interval;
   ha = std::make_unique<core::MhrpAgent>(*home_router, ha_config);
   ha->serve_on(ha_iface);
+  if (options.protocol.store.enabled) {
+    // Attach the disk before provisioning so every row ever created is
+    // in the log from the start.
+    ha_store =
+        std::make_unique<store::HomeStore>(topo.sim(), options.protocol.store);
+    ha->attach_store(*ha_store);
+  }
   for (int i = 0; i < options.mobile_hosts; ++i) {
     ha->provision_mobile_host(mobile_address(i));
   }
@@ -236,6 +243,9 @@ void ScaleWorld::arm_chaos() {
   for (std::size_t j = 0; j < fas.size(); ++j) {
     fault_plane_->add_node(*fa_routers[j], fas[j].get());
   }
+  // The HA registers after every FA so FA node indices stay 0..F-1 (the
+  // index contract existing schedules are written against).
+  ha_target_ = fault_plane_->add_node(*home_router, ha.get());
 
   util::Rng draw(c.fault_seed);
   faults::FaultSchedule schedule;
@@ -260,6 +270,12 @@ void ScaleWorld::arm_chaos() {
     schedule.append_poisson_impairment_bursts(
         draw, c.horizon, c.loss_bursts_per_sec, c.mean_burst, burst, 0,
         cells.size() + backbone_links.size());
+  }
+  if (c.ha_crashes_per_sec > 0) {
+    // Drawn last so enabling HA crashes cannot shift the draws above.
+    schedule.append_poisson_node_crashes(draw, c.horizon, c.ha_crashes_per_sec,
+                                         c.mean_downtime, ha_target_, 1,
+                                         c.preserve_persistent_state);
   }
   fault_plane_->load(schedule);
   fault_plane_->on_fault = [this](const faults::FaultEvent& e) {
@@ -306,6 +322,51 @@ void ScaleWorld::arm_chaos() {
 
 void ScaleWorld::note_fault(const faults::FaultEvent& event) {
   using faults::FaultKind;
+  // The home agent is node target ha_target_ (registered after the FAs).
+  // Its crash is observed *at the crash* — on_fault fires after the
+  // event applies, so at kNodeCrash the agent's map still holds the
+  // pre-crash view while the disk cache is already gone; by kNodeReboot
+  // the map has been rebuilt from store recovery and the difference is
+  // exactly what the crash cost. Poisson crash windows can overlap: each
+  // crash schedules its own reboot, so a burst of crashes yields a burst
+  // of reboots of which only the FIRST ends the outage — the rest hit an
+  // already-running agent after registrations have resumed, and diffing
+  // against the stale snapshot would count superseded bindings as lost.
+  // ha_crashed_at_ doubles as the down flag: only the outage-opening
+  // crash captures, only the outage-ending reboot compares.
+  if (event.target == ha_target_ && event.kind == FaultKind::kNodeCrash) {
+    if (ha_crashed_at_ >= 0) return;  // already down
+    ha_precrash_bindings_ = ha->home_bindings();
+    ha_crashed_at_ = topo.sim().now();
+    return;
+  }
+  if (event.target == ha_target_ && event.kind == FaultKind::kNodeReboot) {
+    if (ha_crashed_at_ < 0) return;  // spurious reboot, HA already up
+    std::size_t lost = 0;
+    const sim::Time now = topo.sim().now();
+    for (const auto& [mobile_host, fa] : ha_precrash_bindings_) {
+      const auto recovered = ha->home_binding(mobile_host);
+      if (recovered.has_value() && *recovered == fa) continue;
+      if (fa.is_unspecified()) continue;  // "at home" lost = provisioning gap
+      ++lost;
+      // The orphaned mobile's traffic blackholes until it re-registers;
+      // run its recovery clock like any other outage.
+      const std::uint32_t raw = mobile_host.raw();
+      if (raw >= kMobileBase && raw < kMobileBase + mobiles.size()) {
+        const auto i = static_cast<std::size_t>(raw - kMobileBase);
+        Outage& o = outages_[i];
+        if (o.recovery_start < 0) {
+          o.recovery_start = now;
+          o.received_at_start = recorders_[i]->total().received;
+          if (o.staleness_start < 0) o.staleness_start = now;
+        }
+      }
+    }
+    ha_lost_bindings_.push_back(static_cast<double>(lost));
+    ha_recovery_times_.push_back(sim::to_seconds(now - ha_crashed_at_));
+    ha_crashed_at_ = -1;
+    return;
+  }
   // A crashed foreign agent (node target j = FA j) or a partitioned cell
   // (link targets 0..F-1 are the cells) orphans every mobile registered
   // there; backbone faults have no single victim set, so only the
@@ -406,15 +467,38 @@ std::string ScaleWorld::metrics_digest() const {
   for (const auto& fa : fas) agent_line("fa", *fa);
   for (const auto& ca : corr_agents) agent_line("ca", *ca);
 
+  if (ha_store) {
+    const store::WalStoreStats& w = ha_store->wal().stats();
+    const store::HomeStoreStats& h = ha_store->stats();
+    out << "store policy=" << to_string(ha_store->policy())
+        << " logged=" << h.logged << " appends=" << w.appends
+        << " syncs=" << w.syncs << " snapshots=" << w.snapshots
+        << " lsn=" << ha_store->last_lsn()
+        << " durable=" << ha_store->durable_lsn()
+        << " crashes=" << h.crashes << " recoveries=" << h.recoveries
+        << " acks_deferred=" << ha->stats().acks_deferred
+        << " acks_released=" << ha->stats().acks_released
+        << " acks_dropped=" << ha->stats().acks_dropped_on_crash << "\n";
+  }
+
+  std::uint64_t total_reg = 0;
+  std::uint64_t total_retx = 0;
+  std::uint64_t total_abandoned = 0;
   for (std::size_t i = 0; i < mobiles.size(); ++i) {
     const core::MobileHostStats& s = mobiles[i]->stats();
+    total_reg += s.registrations_completed;
+    total_retx += s.registration_retransmits;
+    total_abandoned += s.registrations_abandoned;
     out << "mobile " << i << " moves=" << s.moves
         << " reg=" << s.registrations_completed
         << " retx=" << s.registration_retransmits
+        << " abandoned=" << s.registrations_abandoned
         << " tunneled=" << s.tunneled_received << " delivered="
         << (i < recorders_.size() ? recorders_[i]->total().received : 0)
         << "\n";
   }
+  out << "mobiles_total reg=" << total_reg << " retx=" << total_retx
+      << " abandoned=" << total_abandoned << "\n";
 
   char buf[32];
   auto series = [&out, &buf](const char* tag, const std::vector<double>& v) {
@@ -432,6 +516,8 @@ std::string ScaleWorld::metrics_digest() const {
     series("recovery", recovery_times_);
     series("outage_loss", outage_losses_);
     series("staleness", binding_staleness_);
+    series("ha_lost_bindings", ha_lost_bindings_);
+    series("ha_recovery", ha_recovery_times_);
   }
   return out.str();
 }

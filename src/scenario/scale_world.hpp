@@ -16,6 +16,7 @@
 #include "core/agent.hpp"
 #include "faults/fault_plane.hpp"
 #include "scenario/metrics.hpp"
+#include "store/home_store.hpp"
 #include "scenario/protocol_options.hpp"
 #include "scenario/topology.hpp"
 #include "scenario/workload.hpp"
@@ -36,6 +37,10 @@ struct ChaosOptions {
   double fa_crashes_per_sec = 0.0;
   sim::Time mean_downtime = sim::seconds(2);
   bool preserve_persistent_state = true;  // reboot keeps the home database
+  /// Home-agent crashes (the §2 durability experiment: each one power-
+  /// cuts the HA's store disk, and the lost-binding series records how
+  /// many acked registrations each recovery failed to bring back).
+  double ha_crashes_per_sec = 0.0;
   double loss_bursts_per_sec = 0.0;
   double burst_loss = 0.3;
   sim::Time mean_burst = sim::seconds(1);
@@ -91,6 +96,8 @@ class ScaleWorld {
   std::vector<node::Host*> correspondents;
 
   std::unique_ptr<core::MhrpAgent> ha;
+  /// The HA's durable database, present when protocol.store.enabled.
+  std::unique_ptr<store::HomeStore> ha_store;
   std::vector<std::unique_ptr<core::MhrpAgent>> fas;
   std::vector<std::unique_ptr<core::MhrpAgent>> corr_agents;
 
@@ -129,6 +136,16 @@ class ScaleWorld {
   /// binding, measured from outage start to the HA's binding change.
   [[nodiscard]] const std::vector<double>& binding_staleness() const {
     return binding_staleness_;
+  }
+  /// One entry per HA crash: away-bindings present before the crash that
+  /// recovery did not restore. All zeros under a durable sync policy;
+  /// under kAsync this is the measured cost of acking early.
+  [[nodiscard]] const std::vector<double>& ha_lost_bindings() const {
+    return ha_lost_bindings_;
+  }
+  /// Seconds each HA crash+recovery took, store mount included.
+  [[nodiscard]] const std::vector<double>& ha_recovery_times() const {
+    return ha_recovery_times_;
   }
 
   /// Delivery statistics at the mobile hosts (per-flow and total).
@@ -179,6 +196,11 @@ class ScaleWorld {
   std::vector<double> recovery_times_;
   std::vector<double> outage_losses_;
   std::vector<double> binding_staleness_;
+  std::size_t ha_target_ = static_cast<std::size_t>(-1);  // fault-plane index
+  std::vector<std::pair<net::IpAddress, net::IpAddress>> ha_precrash_bindings_;
+  sim::Time ha_crashed_at_ = -1;
+  std::vector<double> ha_lost_bindings_;
+  std::vector<double> ha_recovery_times_;
   std::vector<net::IpAddress> ha_bindings_;      // per mobile, HA's view
   std::vector<sim::Time> binding_changed_at_;    // per mobile
   bool oracle_installed_ = false;

@@ -1,0 +1,104 @@
+#include "store/home_store.hpp"
+
+#include <sstream>
+
+namespace mhrp::store {
+
+HomeStore::HomeStore(sim::Simulator& sim, const StoreOptions& options)
+    : options_(options),
+      disk_(std::make_unique<SimDisk>(options.sector_size,
+                                      options.disk_sectors)),
+      wal_(std::make_unique<WalStore>(*disk_, options)),
+      sync_timer_(sim, options.sync_interval, [this] { interval_fire(); }) {
+  wal_->format();
+  if (options_.sync_policy != SyncPolicy::kSync &&
+      options_.sync_interval > 0) {
+    sync_timer_.start();
+  }
+}
+
+HomeStore::~HomeStore() = default;
+
+HomeStore::Ticket HomeStore::log(const WalRecord& record) {
+  if (down_) return {};
+  const Lsn lsn = wal_->append(record);
+  if (lsn == 0) {  // a forced compaction crashed under us
+    crash();
+    return {};
+  }
+  ++stats_.logged;
+  switch (options_.sync_policy) {
+    case SyncPolicy::kSync:
+      if (!wal_->sync()) {
+        crash();
+        return {};  // never ack a registration the crash just ate
+      }
+      ++stats_.acks_immediate;
+      return {lsn, true};
+    case SyncPolicy::kInterval:
+      ++stats_.acks_deferred;
+      return {lsn, false};
+    case SyncPolicy::kAsync:
+      ++stats_.acks_immediate;
+      return {lsn, true};
+  }
+  return {};
+}
+
+bool HomeStore::flush() {
+  if (down_) return false;
+  if (!wal_->sync()) {
+    crash();
+    return false;
+  }
+  return true;
+}
+
+void HomeStore::interval_fire() {
+  if (down_) return;
+  if (wal_->durable_lsn() == wal_->last_lsn()) return;  // nothing pending
+  if (!wal_->sync()) {
+    crash();
+    return;
+  }
+  ++stats_.interval_syncs;
+  if (on_durable) on_durable(wal_->durable_lsn());
+}
+
+void HomeStore::crash() {
+  if (down_) return;
+  down_ = true;
+  ++stats_.crashes;
+  sync_timer_.stop();
+  disk_->crash();
+}
+
+RecoveryStats HomeStore::recover() {
+  auto out = wal_->recover();
+  down_ = false;
+  ++stats_.recoveries;
+  if (options_.sync_policy != SyncPolicy::kSync &&
+      options_.sync_interval > 0) {
+    sync_timer_.start();
+  }
+  return out;
+}
+
+void HomeStore::reset() {
+  disk_->crash();  // drop any cached sectors from the previous life
+  wal_->format();
+  down_ = false;
+  if (options_.sync_policy != SyncPolicy::kSync &&
+      options_.sync_interval > 0) {
+    sync_timer_.start();
+  }
+}
+
+std::string HomeStore::digest() const {
+  std::ostringstream out;
+  out << "store policy=" << to_string(options_.sync_policy)
+      << (down_ ? " DOWN " : " ") << wal_->state_digest();
+  return out.str();
+}
+
+}  // namespace mhrp::store

@@ -1,0 +1,107 @@
+// HomeStore: the home agent's view of its durable database. Owns the
+// SimDisk and WalStore and implements the sync *policy* — the knob that
+// trades registration latency against durability (§4.3 discusses the
+// home agent as the reliability anchor; this is the subsystem that makes
+// the anchor survive a power cycle):
+//
+//   kSync     every logged mutation is synced before log() returns; the
+//             ticket says "ack now" only when the sync survived. Crash
+//             safety: an acked registration is always recovered.
+//   kInterval group commit: mutations accumulate in the disk cache and a
+//             periodic timer syncs them; tickets say "don't ack yet" and
+//             the on_durable callback releases the deferred acks once
+//             their LSN is durable. Same guarantee as kSync, amortized
+//             sync cost, added ack latency.
+//   kAsync    ack immediately, sync in the background. Fast and *unsafe*:
+//             a crash between ack and sync loses an acked registration.
+//             The crash-consistency checker quantifies exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "store/sim_disk.hpp"
+#include "store/store_options.hpp"
+#include "store/wal_store.hpp"
+
+namespace mhrp::store {
+
+struct HomeStoreStats {
+  std::uint64_t logged = 0;
+  std::uint64_t acks_immediate = 0;  // ticket said ack_now
+  std::uint64_t acks_deferred = 0;   // parked until a durable callback
+  std::uint64_t interval_syncs = 0;  // timer-driven group commits
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+};
+
+class HomeStore {
+ public:
+  /// What the caller may do with the mutation it just logged: `lsn` is
+  /// the record's position (0 when the store is down), `ack_now` says
+  /// whether the ack can be sent immediately or must wait for the
+  /// on_durable callback to report `lsn` durable.
+  struct Ticket {
+    Lsn lsn = 0;
+    bool ack_now = false;
+  };
+
+  /// Creates the disk and formats it (a fresh home agent). The simulator
+  /// drives the interval-sync timer; with policy kSync no timer runs.
+  HomeStore(sim::Simulator& sim, const StoreOptions& options);
+  ~HomeStore();
+
+  HomeStore(const HomeStore&) = delete;
+  HomeStore& operator=(const HomeStore&) = delete;
+
+  /// Append one mutation per the sync policy. Down stores swallow the
+  /// record (lsn 0, no ack) — the caller is mid-crash anyway.
+  Ticket log(const WalRecord& record);
+
+  /// Force everything durable now (used at snapshot points and by tests).
+  /// Returns false when the store is down or a crash was injected.
+  [[nodiscard]] bool flush();
+
+  /// Power-cut the device: the volatile cache is lost, the store goes
+  /// inert, and the interval timer stops. Mirrors FaultKind::kNodeCrash.
+  void crash();
+
+  /// Mount after a crash (or a fresh boot): replays the longest valid
+  /// prefix and re-arms the interval timer. The recovered rows are in
+  /// `state()`; the agent rebuilds its map from them.
+  RecoveryStats recover();
+
+  /// Wipe the device and start empty — the reboot(preserve=false) path
+  /// and a replica rebuilt from scratch.
+  void reset();
+
+  /// Fired after a group commit with the new durable LSN; every deferred
+  /// ack with lsn <= the argument may now be sent.
+  std::function<void(Lsn)> on_durable;
+
+  [[nodiscard]] bool down() const { return down_; }
+  [[nodiscard]] SyncPolicy policy() const { return options_.sync_policy; }
+  [[nodiscard]] const RecoveredDb& state() const { return wal_->state(); }
+  [[nodiscard]] Lsn durable_lsn() const { return wal_->durable_lsn(); }
+  [[nodiscard]] Lsn last_lsn() const { return wal_->last_lsn(); }
+  [[nodiscard]] const HomeStoreStats& stats() const { return stats_; }
+  [[nodiscard]] WalStore& wal() { return *wal_; }
+  [[nodiscard]] SimDisk& disk() { return *disk_; }
+  [[nodiscard]] std::string digest() const;
+
+ private:
+  void interval_fire();
+
+  StoreOptions options_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<WalStore> wal_;
+  sim::PeriodicTimer sync_timer_;
+  bool down_ = false;
+  HomeStoreStats stats_;
+};
+
+}  // namespace mhrp::store

@@ -1,0 +1,118 @@
+#include "store/sim_disk.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mhrp::store {
+
+void SimDisk::check_readable(std::size_t at, std::size_t len) const {
+  if (read_error_count_ == 0 || len == 0) return;
+  const std::size_t first = at / sector_size_;
+  const std::size_t last = (at + len - 1) / sector_size_;
+  if (last >= read_error_first_ &&
+      first < read_error_first_ + read_error_count_) {
+    ++stats_.read_errors;
+    throw DiskError("SimDisk: read error");
+  }
+}
+
+void SimDisk::write(std::size_t at, std::span<const std::uint8_t> data) {
+  check_range(at, data.size());
+  ++stats_.writes;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t sector = (at + pos) / sector_size_;
+    const std::size_t in_sector = (at + pos) % sector_size_;
+    const std::size_t chunk =
+        std::min(sector_size_ - in_sector, data.size() - pos);
+    auto it = cache_.find(sector);
+    if (it == cache_.end()) {
+      // Seed the cached image from the current durable content so a
+      // partial-sector write keeps the untouched bytes.
+      std::vector<std::uint8_t> image(
+          media_.begin() +
+              static_cast<std::ptrdiff_t>(sector * sector_size_),
+          media_.begin() +
+              static_cast<std::ptrdiff_t>((sector + 1) * sector_size_));
+      it = cache_.emplace(sector, std::move(image)).first;
+      ++stats_.sectors_dirtied;
+    }
+    std::memcpy(it->second.data() + in_sector, data.data() + pos, chunk);
+    pos += chunk;
+  }
+}
+
+void SimDisk::read(std::size_t at, std::span<std::uint8_t> out) const {
+  check_range(at, out.size());
+  check_readable(at, out.size());
+  ++stats_.reads;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t sector = (at + pos) / sector_size_;
+    const std::size_t in_sector = (at + pos) % sector_size_;
+    const std::size_t chunk =
+        std::min(sector_size_ - in_sector, out.size() - pos);
+    auto it = cache_.find(sector);
+    const std::uint8_t* src =
+        it != cache_.end() ? it->second.data() + in_sector
+                           : media_.data() + sector * sector_size_ + in_sector;
+    std::memcpy(out.data() + pos, src, chunk);
+    pos += chunk;
+  }
+}
+
+std::vector<std::uint8_t> SimDisk::read(std::size_t at,
+                                        std::size_t len) const {
+  std::vector<std::uint8_t> out(len);
+  read(at, std::span<std::uint8_t>(out));
+  return out;
+}
+
+void SimDisk::read_durable(std::size_t at,
+                           std::span<std::uint8_t> out) const {
+  check_range(at, out.size());
+  check_readable(at, out.size());
+  ++stats_.reads;
+  std::memcpy(out.data(), media_.data() + at, out.size());
+}
+
+bool SimDisk::sync() {
+  // Persist in ascending sector order: deterministic, and the order the
+  // crash-point coordinate system is defined over.
+  while (!cache_.empty()) {
+    auto it = cache_.begin();
+    const std::size_t sector = it->first;
+    if (crash_hook_) {
+      std::size_t tear_at = sector_size_ / 2;
+      const PersistAction action =
+          crash_hook_(persist_step_, sector, tear_at);
+      if (action == PersistAction::kCrashBefore) {
+        crash();
+        return false;
+      }
+      if (action == PersistAction::kTear) {
+        const std::size_t n = std::min(tear_at, sector_size_);
+        std::memcpy(media_.data() + sector * sector_size_,
+                    it->second.data(), n);
+        ++stats_.torn_sectors;
+        ++persist_step_;
+        crash();
+        return false;
+      }
+    }
+    std::memcpy(media_.data() + sector * sector_size_, it->second.data(),
+                sector_size_);
+    cache_.erase(it);
+    ++stats_.sectors_persisted;
+    ++persist_step_;
+  }
+  ++stats_.syncs;
+  return true;
+}
+
+void SimDisk::crash() {
+  cache_.clear();
+  ++stats_.crashes;
+}
+
+}  // namespace mhrp::store

@@ -1,0 +1,59 @@
+// Durability knobs for the home-agent store, factored into a dependency-
+// free header so scenario::ProtocolOptions can embed them without pulling
+// the store implementation into every world header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mhrp::store {
+
+/// When a logged home-database mutation becomes durable relative to the
+/// registration acknowledgment (§4.3: the agent must not promise a
+/// binding it can lose).
+enum class SyncPolicy : std::uint8_t {
+  /// sync() after every append; the ack never races the disk. The §2
+  /// "recorded on disk" reading with zero acked-then-lost registrations.
+  kSync = 0,
+  /// Group commit: appends accumulate in the write cache and a periodic
+  /// timer syncs; acks are *deferred* until the record is durable, so
+  /// the guarantee holds but registration latency grows by up to one
+  /// sync interval.
+  kInterval = 1,
+  /// Ack immediately, sync in the background. Fastest, and the one
+  /// policy that can lose an acknowledged registration on a crash — the
+  /// crash-consistency checker and the E-store chaos series quantify
+  /// exactly how many.
+  kAsync = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kSync: return "sync";
+    case SyncPolicy::kInterval: return "interval";
+    case SyncPolicy::kAsync: return "async";
+  }
+  return "?";
+}
+
+struct StoreOptions {
+  /// Attach a durable store to the home agent at all.
+  bool enabled = false;
+  SyncPolicy sync_policy = SyncPolicy::kSync;
+  /// Group-commit period for kInterval / background-sync period for
+  /// kAsync (ignored under kSync).
+  sim::Time sync_interval = sim::millis(50);
+  /// Log records between snapshot+compaction passes.
+  std::uint32_t snapshot_every = 1024;
+
+  // ---- Simulated disk geometry ----
+  std::size_t sector_size = 512;
+  std::size_t disk_sectors = 4096;
+  /// Sectors reserved for EACH of the two snapshot regions; must hold
+  /// 8 + 12 * max_mobile_hosts bytes.
+  std::size_t snapshot_region_sectors = 256;
+};
+
+}  // namespace mhrp::store

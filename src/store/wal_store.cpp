@@ -1,0 +1,374 @@
+#include "store/wal_store.hpp"
+
+#include <sstream>
+
+#include "util/byte_buffer.hpp"
+#include "util/checksum.hpp"
+
+namespace mhrp::store {
+
+namespace {
+
+constexpr std::uint32_t kSuperMagic = 0x4D485753;  // "MHWS"
+constexpr std::uint8_t kRecordMagic = 0xA5;
+// The checksummed payload (magic..snapshot_crc); the trailing crc32 over
+// exactly these bytes makes the on-disk superblock 4 bytes longer.
+constexpr std::size_t kSuperblockBytes = 4 + 8 + 1 + 4 + 8 + 4;
+constexpr std::size_t kRecordHeaderBytes = 1 + 1 + 2 + 8;  // magic..lsn
+constexpr std::size_t kRecordPayloadBytes = 4 + 4 + 4;
+constexpr std::size_t kRecordBytes =
+    kRecordHeaderBytes + kRecordPayloadBytes + 4;
+
+std::vector<std::uint8_t> encode_record(const WalRecord& r, Lsn lsn) {
+  util::ByteWriter w(kRecordBytes);
+  w.u8(kRecordMagic);
+  w.u8(static_cast<std::uint8_t>(r.kind));
+  w.u16(static_cast<std::uint16_t>(kRecordPayloadBytes));
+  w.u64(lsn);
+  w.u32(r.mobile_host.raw());
+  w.u32(r.foreign_agent.raw());
+  w.u32(r.sequence);
+  auto bytes = w.take();
+  const std::uint32_t crc = util::crc32(bytes);
+  w.u32(crc);
+  auto tail = w.take();
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+  return bytes;
+}
+
+}  // namespace
+
+WalStore::WalStore(SimDisk& disk, const StoreOptions& options)
+    : disk_(&disk), options_(options) {
+  const std::size_t ss = disk.sector_size();
+  snapshot_region_bytes_ = options.snapshot_region_sectors * ss;
+  log_start_ = (2 + 2 * options.snapshot_region_sectors) * ss;
+  log_tail_ = log_start_;
+  if (log_start_ + kRecordBytes > disk.size_bytes()) {
+    throw DiskError("WalStore: disk too small for the configured layout");
+  }
+  if (kSuperblockBytes + 4 > ss) {
+    throw DiskError("WalStore: sector smaller than a superblock");
+  }
+}
+
+std::size_t WalStore::snapshot_offset(int region) const {
+  return (2 + static_cast<std::size_t>(region) *
+                  options_.snapshot_region_sectors) *
+         disk_->sector_size();
+}
+
+void WalStore::write_superblock(int slot, const Superblock& sb) {
+  util::ByteWriter w(kSuperblockBytes);
+  w.u32(kSuperMagic);
+  w.u64(sb.epoch);
+  w.u8(sb.snapshot_region);
+  w.u32(sb.snapshot_len);
+  w.u64(sb.snapshot_lsn);
+  w.u32(sb.snapshot_crc);
+  auto bytes = w.take();
+  const std::uint32_t crc = util::crc32(bytes);
+  w.u32(crc);
+  auto tail = w.take();
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+  disk_->write(static_cast<std::size_t>(slot) * disk_->sector_size(), bytes);
+}
+
+std::optional<WalStore::Superblock> WalStore::read_superblock(
+    int slot) const {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = disk_->read(
+        static_cast<std::size_t>(slot) * disk_->sector_size(),
+        kSuperblockBytes + 4);
+  } catch (const DiskError&) {
+    return std::nullopt;
+  }
+  try {
+    util::ByteReader r(bytes);
+    Superblock sb;
+    if (r.u32() != kSuperMagic) return std::nullopt;
+    sb.epoch = r.u64();
+    sb.snapshot_region = r.u8();
+    sb.snapshot_len = r.u32();
+    sb.snapshot_lsn = r.u64();
+    sb.snapshot_crc = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (crc != util::crc32(std::span(bytes).first(kSuperblockBytes))) {
+      return std::nullopt;
+    }
+    if (sb.snapshot_region > 1 ||
+        sb.snapshot_len > snapshot_region_bytes_) {
+      return std::nullopt;
+    }
+    return sb;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<RecoveredDb> WalStore::load_snapshot(
+    const Superblock& sb) const {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = disk_->read(snapshot_offset(sb.snapshot_region), sb.snapshot_len);
+  } catch (const DiskError&) {
+    return std::nullopt;
+  }
+  if (util::crc32(bytes) != sb.snapshot_crc) return std::nullopt;
+  try {
+    util::ByteReader r(bytes);
+    const std::uint32_t count = r.u32();
+    RecoveredDb db;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const net::IpAddress mobile(r.u32());
+      RecoveredRow row;
+      row.foreign_agent = net::IpAddress(r.u32());
+      row.sequence = r.u32();
+      db.emplace(mobile, row);
+    }
+    return db;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+void WalStore::format() {
+  // Blank both superblock slots, then write epoch 1 (slot 1 = 1 % 2).
+  const std::vector<std::uint8_t> zero(disk_->sector_size(), 0);
+  disk_->write(0, zero);
+  disk_->write(disk_->sector_size(), zero);
+  Superblock sb;
+  sb.epoch = 1;
+  write_superblock(1, sb);
+  (void)disk_->sync();
+  current_sb_ = sb;
+  state_.clear();
+  next_lsn_ = 1;
+  durable_lsn_ = 0;
+  log_tail_ = log_start_;
+  records_since_snapshot_ = 0;
+  crashed_ = false;
+}
+
+RecoveryStats WalStore::recover() {
+  RecoveryStats out;
+  crashed_ = false;
+  const auto sb0 = read_superblock(0);
+  const auto sb1 = read_superblock(1);
+  out.superblock_found = sb0.has_value() || sb1.has_value();
+
+  Superblock chosen;  // epoch 0: nothing valid, recover from log alone
+  if (sb0.has_value() && sb1.has_value()) {
+    chosen = sb0->epoch >= sb1->epoch ? *sb0 : *sb1;
+  } else if (sb0.has_value() || sb1.has_value()) {
+    chosen = sb0.has_value() ? *sb0 : *sb1;
+    // The other slot holds something unparsable (torn flip) rather than
+    // the blank a fresh format leaves.
+    std::vector<std::uint8_t> other;
+    try {
+      other = disk_->read(
+          (sb0.has_value() ? 1u : 0u) * disk_->sector_size(),
+          kSuperblockBytes + 4);
+    } catch (const DiskError&) {
+    }
+    for (std::uint8_t b : other) {
+      if (b != 0) {
+        out.superblock_fallback = true;
+        break;
+      }
+    }
+  }
+
+  state_.clear();
+  Lsn base_lsn = 0;
+  if (chosen.epoch != 0 && chosen.snapshot_len != 0) {
+    if (auto db = load_snapshot(chosen)) {
+      state_ = std::move(*db);
+      out.snapshot_used = true;
+      out.snapshot_lsn = chosen.snapshot_lsn;
+      base_lsn = chosen.snapshot_lsn;
+    } else {
+      out.snapshot_unreadable = true;
+      // The deltas in the log are meaningless without their base; stop
+      // with an empty database rather than replaying onto the wrong one.
+      current_sb_ = chosen;
+      next_lsn_ = chosen.snapshot_lsn + 1;
+      durable_lsn_ = chosen.snapshot_lsn;
+      log_tail_ = log_start_;
+      records_since_snapshot_ = 0;
+      out.last_lsn = chosen.snapshot_lsn;
+      return out;
+    }
+  }
+
+  // Replay the longest valid prefix of the log.
+  Lsn expected = base_lsn + 1;
+  std::size_t offset = log_start_;
+  while (offset + kRecordBytes <= disk_->size_bytes()) {
+    std::vector<std::uint8_t> bytes;
+    try {
+      bytes = disk_->read(offset, kRecordBytes);
+    } catch (const DiskError&) {
+      out.stopped_at_invalid = true;
+      break;
+    }
+    if (bytes[0] != kRecordMagic) break;  // clean end of log
+    util::ByteReader r(bytes);
+    WalRecord rec;
+    Lsn lsn = 0;
+    try {
+      (void)r.u8();  // magic
+      rec.kind = static_cast<WalRecord::Kind>(r.u8());
+      const std::uint16_t len = r.u16();
+      lsn = r.u64();
+      if (len != kRecordPayloadBytes) {
+        out.stopped_at_invalid = true;
+        break;
+      }
+      rec.mobile_host = net::IpAddress(r.u32());
+      rec.foreign_agent = net::IpAddress(r.u32());
+      rec.sequence = r.u32();
+      const std::uint32_t crc = r.u32();
+      if (crc != util::crc32(std::span(bytes).first(kRecordBytes - 4))) {
+        out.stopped_at_invalid = true;  // torn tail or corrupt record
+        break;
+      }
+    } catch (const util::CodecError&) {
+      out.stopped_at_invalid = true;
+      break;
+    }
+    if (lsn != expected) break;  // stale pre-compaction leftover
+    if (rec.kind != WalRecord::Kind::kProvision &&
+        rec.kind != WalRecord::Kind::kBinding &&
+        rec.kind != WalRecord::Kind::kErase) {
+      out.stopped_at_invalid = true;
+      break;
+    }
+    apply(rec);
+    ++expected;
+    ++out.records_replayed;
+    offset += kRecordBytes;
+  }
+
+  current_sb_ = chosen;
+  next_lsn_ = expected;
+  durable_lsn_ = expected - 1;
+  log_tail_ = offset;
+  records_since_snapshot_ =
+      static_cast<std::uint32_t>(out.records_replayed);
+  out.last_lsn = expected - 1;
+  return out;
+}
+
+void WalStore::apply(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecord::Kind::kProvision:
+      state_.emplace(record.mobile_host,
+                     RecoveredRow{record.foreign_agent, record.sequence});
+      break;
+    case WalRecord::Kind::kBinding:
+      state_[record.mobile_host] =
+          RecoveredRow{record.foreign_agent, record.sequence};
+      break;
+    case WalRecord::Kind::kErase:
+      state_.erase(record.mobile_host);
+      break;
+  }
+}
+
+Lsn WalStore::append(const WalRecord& record) {
+  if (crashed_) return 0;
+  if (!in_snapshot_ && log_tail_ + kRecordBytes > disk_->size_bytes()) {
+    ++stats_.forced_snapshots;
+    if (!snapshot()) return 0;  // crashed mid-compaction: store is down
+  }
+  const Lsn lsn = next_lsn_++;
+  const auto bytes = encode_record(record, lsn);
+  disk_->write(log_tail_, bytes);
+  log_tail_ += bytes.size();
+  apply(record);
+  ++records_since_snapshot_;
+  ++stats_.appends;
+  stats_.bytes_appended += bytes.size();
+  if (!in_snapshot_ && options_.snapshot_every != 0 &&
+      records_since_snapshot_ >= options_.snapshot_every) {
+    (void)snapshot();
+  }
+  return lsn;
+}
+
+bool WalStore::sync() {
+  if (crashed_) return false;
+  if (!disk_->sync()) {
+    crashed_ = true;
+    return false;
+  }
+  durable_lsn_ = next_lsn_ - 1;
+  ++stats_.syncs;
+  return true;
+}
+
+bool WalStore::snapshot() {
+  if (crashed_) return false;
+  if (in_snapshot_) return true;
+  in_snapshot_ = true;
+  util::ByteWriter w(4 + state_.size() * 12);
+  w.u32(static_cast<std::uint32_t>(state_.size()));
+  for (const auto& [mobile, row] : state_) {
+    w.u32(mobile.raw());
+    w.u32(row.foreign_agent.raw());
+    w.u32(row.sequence);
+  }
+  const auto bytes = w.take();
+  if (bytes.size() > snapshot_region_bytes_) {
+    in_snapshot_ = false;
+    throw DiskError("WalStore: snapshot exceeds its region; size the "
+                    "store for the provisioned host count");
+  }
+
+  const int target = current_sb_.snapshot_region == 0 ? 1 : 0;
+  disk_->write(snapshot_offset(target), bytes);
+  // The snapshot region must be durable before any superblock points at
+  // it; this sync also carries any still-cached log sectors (harmless).
+  if (!disk_->sync()) {
+    crashed_ = true;
+    in_snapshot_ = false;
+    return false;
+  }
+
+  Superblock sb;
+  sb.epoch = current_sb_.epoch + 1;
+  sb.snapshot_region = static_cast<std::uint8_t>(target);
+  sb.snapshot_len = static_cast<std::uint32_t>(bytes.size());
+  sb.snapshot_lsn = next_lsn_ - 1;
+  sb.snapshot_crc = util::crc32(bytes);
+  // Alternate slots by epoch so the flip overwrites the *older* copy and
+  // a torn write can never destroy the only valid superblock.
+  write_superblock(static_cast<int>(sb.epoch % 2), sb);
+  if (!disk_->sync()) {
+    crashed_ = true;
+    in_snapshot_ = false;
+    return false;
+  }
+
+  current_sb_ = sb;
+  log_tail_ = log_start_;
+  records_since_snapshot_ = 0;
+  durable_lsn_ = next_lsn_ - 1;
+  ++stats_.snapshots;
+  in_snapshot_ = false;
+  return true;
+}
+
+std::string WalStore::state_digest() const {
+  std::ostringstream out;
+  out << "wal lsn=" << last_lsn() << " durable=" << durable_lsn_
+      << " rows=" << state_.size();
+  for (const auto& [mobile, row] : state_) {
+    out << " " << mobile << "->" << row.foreign_agent << "/" << row.sequence;
+  }
+  return out.str();
+}
+
+}  // namespace mhrp::store

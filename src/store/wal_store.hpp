@@ -1,0 +1,184 @@
+// WalStore: the durable home-agent database — a checksummed append-only
+// write-ahead log of registration/deregistration records over a SimDisk,
+// with periodic snapshot + log compaction and a recovery path that
+// replays the longest valid prefix.
+//
+// On-disk layout (all integers big-endian, every region checksummed):
+//
+//   sector 0,1   two superblock copies. Each carries an epoch; recovery
+//                takes the valid copy with the larger epoch, so a torn
+//                superblock write can only lose the *newest* flip, never
+//                both. Superblocks are rewritten alternately.
+//   snapshot A/B two fixed regions, double-buffered. A compaction writes
+//                the full database into the *inactive* region, syncs it,
+//                then flips the superblock; a crash at any intermediate
+//                step leaves the old superblock pointing at the old
+//                snapshot + old log, which is still a consistent prefix.
+//   log          append-only records from the first sector past the
+//                snapshot regions to the end of the disk.
+//
+// Log record framing:  magic u8 | kind u8 | len u16 | lsn u64 |
+//                      payload[len] | crc32 u32   (over everything
+//                      before the crc). Recovery replays records while
+//                      the magic, CRC, and LSN contiguity all hold and
+//                      stops at the first violation — a torn tail, a
+//                      corrupt record, or a stale record left over from
+//                      before the last compaction (its LSN is not the
+//                      expected successor) all end the valid prefix.
+//
+// The WalStore also keeps the materialized state (mobile -> row) in
+// memory: appends apply to it, snapshots serialize it, and the agent's
+// own map is rebuilt from it on recovery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/ip_address.hpp"
+#include "store/sim_disk.hpp"
+#include "store/store_options.hpp"
+
+namespace mhrp::store {
+
+using Lsn = std::uint64_t;
+
+/// One logged home-database mutation (§3 notifications as the home agent
+/// records them): provision creates the row, binding moves it (a
+/// foreign agent, zero for "at home", the detached sentinel for a
+/// graceful disconnect), erase retires it (registration timeout).
+struct WalRecord {
+  enum class Kind : std::uint8_t {
+    kProvision = 1,
+    kBinding = 2,
+    kErase = 3,
+  };
+  Kind kind = Kind::kBinding;
+  net::IpAddress mobile_host;
+  net::IpAddress foreign_agent;
+  std::uint32_t sequence = 0;
+
+  [[nodiscard]] bool operator==(const WalRecord&) const = default;
+};
+
+struct RecoveredRow {
+  net::IpAddress foreign_agent;
+  std::uint32_t sequence = 0;
+
+  [[nodiscard]] bool operator==(const RecoveredRow&) const = default;
+};
+
+using RecoveredDb = std::map<net::IpAddress, RecoveredRow>;
+
+struct RecoveryStats {
+  bool superblock_found = false;   // any valid superblock at all
+  bool superblock_fallback = false;  // newest copy invalid, older used
+  bool snapshot_used = false;
+  bool snapshot_unreadable = false;  // pointed-to snapshot failed checks
+  Lsn snapshot_lsn = 0;            // LSN the snapshot covers through
+  std::uint64_t records_replayed = 0;
+  Lsn last_lsn = 0;                // highest LSN in the recovered state
+  /// Why replay stopped: end-of-log (clean), or a framing/CRC/LSN
+  /// violation (the discarded suffix began here).
+  bool stopped_at_invalid = false;
+};
+
+struct WalStoreStats {
+  std::uint64_t appends = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t forced_snapshots = 0;  // log region filled up
+};
+
+class WalStore {
+ public:
+  /// Binds to `disk` (which must outlive the store) without touching
+  /// it. Call recover() to load existing state and position the log
+  /// tail, or format() to initialize an empty store.
+  WalStore(SimDisk& disk, const StoreOptions& options);
+
+  WalStore(const WalStore&) = delete;
+  WalStore& operator=(const WalStore&) = delete;
+
+  /// Write empty superblocks and an empty log, then sync. The previous
+  /// contents are unrecoverable afterwards (a replica rebuilt from
+  /// scratch on a fresh disk).
+  void format();
+
+  /// Read superblocks, load the pointed-to snapshot, replay the longest
+  /// valid log prefix, and position the tail so append() continues the
+  /// sequence. Safe to call repeatedly; recovery mutates nothing on
+  /// disk, so calling it twice yields byte-identical results.
+  RecoveryStats recover();
+
+  /// Append one record to the log (volatile until the next sync()).
+  /// Triggers snapshot+compaction when the configured record budget or
+  /// the log region is exhausted. Returns the record's LSN.
+  Lsn append(const WalRecord& record);
+
+  /// Make everything appended so far durable. Returns false when the
+  /// disk's crash hook injected a crash mid-sync.
+  [[nodiscard]] bool sync();
+
+  /// Serialize the current state into the inactive snapshot region,
+  /// flip the superblock, and logically truncate the log. Durable when
+  /// it returns true (the flip is synced); false = crashed mid-way.
+  [[nodiscard]] bool snapshot();
+
+  /// True once a disk crash hook fired mid-sync: the "machine" is down
+  /// and every append/sync/snapshot is inert until recover() or
+  /// format() brings the store back up.
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  [[nodiscard]] const RecoveredDb& state() const { return state_; }
+  [[nodiscard]] Lsn last_lsn() const { return next_lsn_ - 1; }
+  [[nodiscard]] Lsn durable_lsn() const { return durable_lsn_; }
+  [[nodiscard]] const WalStoreStats& stats() const { return stats_; }
+  [[nodiscard]] SimDisk& disk() { return *disk_; }
+
+  /// Deterministic one-line rendering of the recovered/current state
+  /// (tests compare recoveries byte-for-byte through this).
+  [[nodiscard]] std::string state_digest() const;
+
+  // Layout coordinates, exposed for the checker and for tests that
+  // corrupt specific structures.
+  [[nodiscard]] std::size_t log_start() const { return log_start_; }
+  [[nodiscard]] std::size_t log_tail() const { return log_tail_; }
+  [[nodiscard]] std::size_t snapshot_offset(int region) const;
+  [[nodiscard]] std::size_t snapshot_capacity() const {
+    return snapshot_region_bytes_;
+  }
+
+ private:
+  struct Superblock {
+    std::uint64_t epoch = 0;
+    std::uint8_t snapshot_region = 0;  // 0/1, which region is live
+    std::uint32_t snapshot_len = 0;    // 0 = no snapshot yet
+    Lsn snapshot_lsn = 0;              // state covers LSNs <= this
+    std::uint32_t snapshot_crc = 0;
+  };
+
+  void apply(const WalRecord& record);
+  void write_superblock(int slot, const Superblock& sb);
+  [[nodiscard]] std::optional<Superblock> read_superblock(int slot) const;
+  [[nodiscard]] std::optional<RecoveredDb> load_snapshot(
+      const Superblock& sb) const;
+
+  SimDisk* disk_;
+  StoreOptions options_;
+  std::size_t snapshot_region_bytes_;
+  std::size_t log_start_;
+  std::size_t log_tail_;  // next append offset
+  Superblock current_sb_;
+  RecoveredDb state_;
+  Lsn next_lsn_ = 1;
+  Lsn durable_lsn_ = 0;
+  std::uint32_t records_since_snapshot_ = 0;
+  bool in_snapshot_ = false;  // re-entrancy guard (append during compaction)
+  bool crashed_ = false;
+  WalStoreStats stats_;
+};
+
+}  // namespace mhrp::store

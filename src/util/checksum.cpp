@@ -1,5 +1,7 @@
 #include "util/checksum.hpp"
 
+#include <array>
+
 namespace mhrp::util {
 
 std::uint16_t ones_complement_sum(std::span<const std::uint8_t> data) {
@@ -23,6 +25,34 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
 
 bool checksum_ok(std::span<const std::uint8_t> data) {
   return ones_complement_sum(data) == 0xFFFF;
+}
+
+namespace {
+
+constexpr std::uint32_t kCrcPoly = 0xEDB88320u;  // reflected 0x04C11DB7
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? kCrcPoly ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t b : data) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
 }
 
 }  // namespace mhrp::util

@@ -20,4 +20,11 @@ namespace mhrp::util {
 /// i.e. the one's-complement sum over the whole region is 0xFFFF.
 [[nodiscard]] bool checksum_ok(std::span<const std::uint8_t> data);
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected). The Internet checksum
+/// misses reordered 16-bit words and compensating bit flips, which is
+/// fine for a hop-by-hop header check but not for deciding where a
+/// write-ahead log's valid prefix ends; the durable store uses this.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0);
+
 }  // namespace mhrp::util

@@ -1,0 +1,723 @@
+// The durable store subsystem (§2: the home database is "recorded on
+// disk to survive any crashes and subsequent reboots"): SimDisk cache /
+// crash semantics, WalStore recovery edge cases (empty log, snapshot-
+// only, torn tail, corrupt mid-log record, crash during compaction,
+// superblock fallback), HomeStore sync policies, the ALICE-style crash-
+// consistency checker, and the home/replica agents recovering their
+// databases from disk through reboot().
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/crash_checker.hpp"
+#include "core/replication.hpp"
+#include "scenario/mhrp_world.hpp"
+#include "scenario/scale_world.hpp"
+#include "scenario/topology.hpp"
+#include "store/home_store.hpp"
+#include "store/sim_disk.hpp"
+#include "store/wal_store.hpp"
+
+namespace mhrp {
+namespace {
+
+using store::HomeStore;
+using store::Lsn;
+using store::PersistAction;
+using store::RecoveryStats;
+using store::SimDisk;
+using store::StoreOptions;
+using store::SyncPolicy;
+using store::WalRecord;
+using store::WalStore;
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s); }
+
+StoreOptions small_store() {
+  StoreOptions o;
+  o.enabled = true;
+  o.sector_size = 512;
+  o.disk_sectors = 1024;
+  o.snapshot_region_sectors = 64;
+  o.snapshot_every = 1024;  // tests trigger compaction explicitly
+  return o;
+}
+
+WalRecord binding(const char* mobile, const char* fa, std::uint32_t seq) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kBinding;
+  r.mobile_host = ip(mobile);
+  r.foreign_agent = ip(fa);
+  r.sequence = seq;
+  return r;
+}
+
+WalRecord provision(const char* mobile) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kProvision;
+  r.mobile_host = ip(mobile);
+  return r;
+}
+
+// ---- SimDisk ----
+
+TEST(SimDisk, WritesAreVolatileUntilSync) {
+  SimDisk disk(512, 8);
+  const std::vector<std::uint8_t> data{1, 2, 3, 4};
+  disk.write(100, data);
+  EXPECT_TRUE(disk.has_unsynced_writes());
+
+  // The cache serves reads; the durable media does not have the bytes.
+  EXPECT_EQ(disk.read(100, 4), data);
+  std::vector<std::uint8_t> durable(4);
+  disk.read_durable(100, durable);
+  EXPECT_EQ(durable, std::vector<std::uint8_t>(4, 0));
+
+  // A crash loses the cache entirely.
+  disk.crash();
+  EXPECT_FALSE(disk.has_unsynced_writes());
+  EXPECT_EQ(disk.read(100, 4), std::vector<std::uint8_t>(4, 0));
+
+  // Written again and synced, the bytes reach the media.
+  disk.write(100, data);
+  ASSERT_TRUE(disk.sync());
+  disk.read_durable(100, durable);
+  EXPECT_EQ(durable, data);
+  EXPECT_FALSE(disk.has_unsynced_writes());
+}
+
+TEST(SimDisk, PartialSectorWritePreservesTheRestOfTheSector) {
+  SimDisk disk(512, 8);
+  std::vector<std::uint8_t> full(512, 0xAA);
+  disk.write(512, full);
+  ASSERT_TRUE(disk.sync());
+  // Overwrite 4 bytes in the middle; the rest of the sector must survive
+  // both in the cache image and on the media after sync.
+  disk.write(512 + 100, std::vector<std::uint8_t>{1, 2, 3, 4});
+  ASSERT_TRUE(disk.sync());
+  const auto sector = disk.read(512, 512);
+  EXPECT_EQ(sector[99], 0xAA);
+  EXPECT_EQ(sector[100], 1);
+  EXPECT_EQ(sector[103], 4);
+  EXPECT_EQ(sector[104], 0xAA);
+}
+
+TEST(SimDisk, CrashHookCutsCleanlyBeforeASector) {
+  SimDisk disk(512, 8);
+  disk.write(0, std::vector<std::uint8_t>(512, 0x11));    // sector 0
+  disk.write(512, std::vector<std::uint8_t>(512, 0x22));  // sector 1
+  disk.set_crash_hook([](std::uint64_t step, std::size_t, std::size_t&) {
+    return step == 1 ? PersistAction::kCrashBefore : PersistAction::kPersist;
+  });
+  EXPECT_FALSE(disk.sync());  // sector 0 persisted, crash before sector 1
+  disk.clear_crash_hook();
+  std::vector<std::uint8_t> s0(512);
+  std::vector<std::uint8_t> s1(512);
+  disk.read_durable(0, s0);
+  disk.read_durable(512, s1);
+  EXPECT_EQ(s0, std::vector<std::uint8_t>(512, 0x11));
+  EXPECT_EQ(s1, std::vector<std::uint8_t>(512, 0x00));
+  EXPECT_EQ(disk.stats().crashes, 1u);
+}
+
+TEST(SimDisk, TornWritePersistsExactlyThePrefix) {
+  SimDisk disk(512, 8);
+  disk.write(0, std::vector<std::uint8_t>(512, 0x77));
+  disk.set_crash_hook(
+      [](std::uint64_t, std::size_t, std::size_t& tear_at) {
+        tear_at = 100;
+        return PersistAction::kTear;
+      });
+  EXPECT_FALSE(disk.sync());
+  std::vector<std::uint8_t> s0(512);
+  disk.read_durable(0, s0);
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(s0[i], i < 100 ? 0x77 : 0x00) << "byte " << i;
+  }
+  EXPECT_EQ(disk.stats().torn_sectors, 1u);
+}
+
+TEST(SimDisk, ArmedReadErrorsRefuseCoveredSectors) {
+  SimDisk disk(512, 8);
+  disk.arm_read_errors(/*first=*/2, /*count=*/1);
+  EXPECT_NO_THROW(disk.read(0, 16));
+  EXPECT_THROW(disk.read(2 * 512 + 4, 8), store::DiskError);
+  // A read straddling into the bad sector fails too.
+  EXPECT_THROW(disk.read(512 + 500, 64), store::DiskError);
+  disk.clear_read_errors();
+  EXPECT_NO_THROW(disk.read(2 * 512 + 4, 8));
+}
+
+// ---- WalStore recovery edge cases ----
+
+TEST(WalStore, EmptyLogRecoversToEmptyState) {
+  SimDisk disk(512, 1024);
+  WalStore wal(disk, small_store());
+  wal.format();
+
+  WalStore reopened(disk, small_store());
+  const RecoveryStats r = reopened.recover();
+  EXPECT_TRUE(r.superblock_found);
+  EXPECT_FALSE(r.snapshot_used);
+  EXPECT_EQ(r.records_replayed, 0u);
+  EXPECT_EQ(r.last_lsn, 0u);
+  EXPECT_FALSE(r.stopped_at_invalid);
+  EXPECT_TRUE(reopened.state().empty());
+}
+
+TEST(WalStore, SnapshotOnlyRecoveryReplaysNoRecords) {
+  SimDisk disk(512, 1024);
+  WalStore wal(disk, small_store());
+  wal.format();
+  wal.append(provision("10.1.0.77"));
+  wal.append(binding("10.1.0.77", "10.3.0.1", 1));
+  ASSERT_TRUE(wal.sync());
+  ASSERT_TRUE(wal.snapshot());  // compacts: the log is logically empty
+
+  WalStore reopened(disk, small_store());
+  const RecoveryStats r = reopened.recover();
+  EXPECT_TRUE(r.snapshot_used);
+  EXPECT_EQ(r.snapshot_lsn, 2u);
+  EXPECT_EQ(r.records_replayed, 0u);
+  EXPECT_EQ(r.last_lsn, 2u);
+  ASSERT_EQ(reopened.state().size(), 1u);
+  EXPECT_EQ(reopened.state().at(ip("10.1.0.77")).foreign_agent,
+            ip("10.3.0.1"));
+  EXPECT_EQ(reopened.state_digest(), wal.state_digest());
+}
+
+TEST(WalStore, TornFinalRecordRecoversTheSyncedPrefix) {
+  SimDisk disk(512, 1024);
+  WalStore wal(disk, small_store());
+  wal.format();
+  wal.append(provision("10.1.0.77"));
+  for (std::uint32_t s = 1; s <= 5; ++s) {
+    wal.append(binding("10.1.0.77", "10.3.0.1", s));
+  }
+  ASSERT_TRUE(wal.sync());  // LSNs 1..6 durable
+
+  // One more record, torn a few bytes in while persisting.
+  wal.append(binding("10.1.0.77", "10.4.0.1", 6));
+  disk.set_crash_hook(
+      [](std::uint64_t, std::size_t, std::size_t& tear_at) {
+        tear_at = 4;
+        return PersistAction::kTear;
+      });
+  EXPECT_FALSE(wal.sync());
+  EXPECT_TRUE(wal.crashed());
+  disk.clear_crash_hook();
+
+  WalStore reopened(disk, small_store());
+  const RecoveryStats r = reopened.recover();
+  EXPECT_EQ(r.last_lsn, 6u);  // the torn record is not replayed
+  EXPECT_EQ(reopened.state().at(ip("10.1.0.77")).foreign_agent,
+            ip("10.3.0.1"));
+  EXPECT_EQ(reopened.state().at(ip("10.1.0.77")).sequence, 5u);
+}
+
+TEST(WalStore, CorruptMidLogRecordEndsTheValidPrefix) {
+  SimDisk disk(512, 1024);
+  WalStore wal(disk, small_store());
+  wal.format();
+  wal.append(provision("10.1.0.77"));  // LSN 1
+  for (std::uint32_t s = 1; s <= 9; ++s) {
+    wal.append(binding("10.1.0.77", "10.3.0.1", s));  // LSNs 2..10
+  }
+  ASSERT_TRUE(wal.sync());
+
+  // Latent corruption inside the 4th record's payload: recovery must
+  // replay exactly LSNs 1..3 and report the invalid stop.
+  const std::size_t record_bytes = 28;
+  disk.corrupt_media(wal.log_start() + 3 * record_bytes + 15);
+
+  WalStore reopened(disk, small_store());
+  const RecoveryStats r = reopened.recover();
+  EXPECT_EQ(r.records_replayed, 3u);
+  EXPECT_EQ(r.last_lsn, 3u);
+  EXPECT_TRUE(r.stopped_at_invalid);
+  EXPECT_EQ(reopened.state().at(ip("10.1.0.77")).sequence, 2u);
+
+  // Appends continue from the recovered prefix, overwriting the suffix.
+  EXPECT_EQ(reopened.append(binding("10.1.0.77", "10.5.0.1", 3)), 4u);
+}
+
+TEST(WalStore, CrashDuringCompactionKeepsTheOldSnapshotAndLog) {
+  SimDisk disk(512, 1024);
+  WalStore wal(disk, small_store());
+  wal.format();
+  for (std::uint32_t s = 1; s <= 8; ++s) {
+    wal.append(binding(s % 2 == 0 ? "10.1.0.77" : "10.1.0.78", "10.3.0.1",
+                       s));
+  }
+  ASSERT_TRUE(wal.sync());
+  const std::string before = wal.state_digest();
+
+  // Crash on the very first sector the compaction tries to persist: the
+  // new snapshot never lands and the superblock never flips.
+  disk.set_crash_hook([](std::uint64_t, std::size_t, std::size_t&) {
+    return PersistAction::kCrashBefore;
+  });
+  EXPECT_FALSE(wal.snapshot());
+  EXPECT_TRUE(wal.crashed());
+  EXPECT_EQ(wal.append(binding("10.1.0.77", "10.9.0.1", 99)), 0u)
+      << "a crashed store must be inert";
+  disk.clear_crash_hook();
+
+  WalStore reopened(disk, small_store());
+  const RecoveryStats r = reopened.recover();
+  EXPECT_FALSE(r.snapshot_used);  // still the pre-compaction superblock
+  EXPECT_EQ(r.last_lsn, 8u);
+  EXPECT_EQ(reopened.state_digest(), before);
+}
+
+TEST(WalStore, CorruptNewestSuperblockFallsBackToTheOlderCopy) {
+  SimDisk disk(512, 1024);
+  WalStore wal(disk, small_store());
+  wal.format();  // epoch 1 lives in slot 1
+  for (std::uint32_t s = 1; s <= 4; ++s) {
+    wal.append(binding("10.1.0.77", "10.3.0.1", s));
+  }
+  ASSERT_TRUE(wal.sync());
+  ASSERT_TRUE(wal.snapshot());  // epoch 2 flips into slot 0
+
+  // The flip's superblock goes bad on the media. Recovery must fall
+  // back to epoch 1 — no snapshot, but the (untouched) log still holds
+  // LSNs 1..4, so the recovered state is identical.
+  disk.corrupt_media(3);
+  WalStore reopened(disk, small_store());
+  const RecoveryStats r = reopened.recover();
+  EXPECT_TRUE(r.superblock_found);
+  EXPECT_TRUE(r.superblock_fallback);
+  EXPECT_EQ(r.last_lsn, 4u);
+  EXPECT_EQ(reopened.state_digest(), wal.state_digest());
+}
+
+TEST(WalStore, ReopenAndContinueKeepsLsnsContiguous) {
+  SimDisk disk(512, 1024);
+  {
+    WalStore wal(disk, small_store());
+    wal.format();
+    EXPECT_EQ(wal.append(provision("10.1.0.77")), 1u);
+    EXPECT_EQ(wal.append(binding("10.1.0.77", "10.3.0.1", 1)), 2u);
+    ASSERT_TRUE(wal.sync());
+  }
+  WalStore wal(disk, small_store());
+  ASSERT_EQ(wal.recover().last_lsn, 2u);
+  EXPECT_EQ(wal.append(binding("10.1.0.77", "10.4.0.1", 2)), 3u);
+  ASSERT_TRUE(wal.sync());
+
+  WalStore again(disk, small_store());
+  const RecoveryStats r = again.recover();
+  EXPECT_EQ(r.last_lsn, 3u);
+  EXPECT_EQ(again.state().at(ip("10.1.0.77")).foreign_agent, ip("10.4.0.1"));
+}
+
+TEST(WalStore, RecoveryIsByteIdenticalWhenRepeated) {
+  SimDisk disk(512, 1024);
+  WalStore wal(disk, small_store());
+  wal.format();
+  for (std::uint32_t s = 1; s <= 20; ++s) {
+    wal.append(binding(s % 3 == 0 ? "10.1.0.78" : "10.1.0.77", "10.3.0.1",
+                       s));
+  }
+  ASSERT_TRUE(wal.sync());
+
+  WalStore first(disk, small_store());
+  first.recover();
+  WalStore second(disk, small_store());
+  second.recover();
+  EXPECT_EQ(first.state_digest(), second.state_digest());
+}
+
+TEST(WalStore, EraseRecordRetiresTheRow) {
+  SimDisk disk(512, 1024);
+  WalStore wal(disk, small_store());
+  wal.format();
+  wal.append(provision("10.1.0.77"));
+  wal.append(binding("10.1.0.77", "10.3.0.1", 1));
+  WalRecord erase;
+  erase.kind = WalRecord::Kind::kErase;
+  erase.mobile_host = ip("10.1.0.77");
+  wal.append(erase);
+  ASSERT_TRUE(wal.sync());
+
+  WalStore reopened(disk, small_store());
+  reopened.recover();
+  EXPECT_TRUE(reopened.state().empty());
+}
+
+TEST(WalStore, LogFullForcesACompaction) {
+  StoreOptions o = small_store();
+  o.disk_sectors = 96;  // 2 superblocks + 2*32 snapshot + 30 log sectors
+  o.snapshot_region_sectors = 32;
+  SimDisk disk(o.sector_size, o.disk_sectors);
+  WalStore wal(disk, o);
+  wal.format();
+  // Far more records than the log region holds; forced compactions must
+  // keep absorbing them without error.
+  for (std::uint32_t s = 1; s <= 2000; ++s) {
+    ASSERT_NE(wal.append(binding("10.1.0.77", "10.3.0.1", s)), 0u)
+        << "append " << s;
+  }
+  ASSERT_TRUE(wal.sync());
+  EXPECT_GT(wal.stats().forced_snapshots, 0u);
+
+  WalStore reopened(disk, o);
+  const RecoveryStats r = reopened.recover();
+  EXPECT_EQ(r.last_lsn, 2000u);
+  EXPECT_EQ(reopened.state().at(ip("10.1.0.77")).sequence, 2000u);
+}
+
+// ---- HomeStore sync policies ----
+
+TEST(HomeStore, SyncPolicyAcksImmediatelyAndDurably) {
+  sim::Simulator sim;
+  StoreOptions o = small_store();
+  o.sync_policy = SyncPolicy::kSync;
+  HomeStore hs(sim, o);
+  const HomeStore::Ticket t = hs.log(binding("10.1.0.77", "10.3.0.1", 1));
+  EXPECT_TRUE(t.ack_now);
+  EXPECT_EQ(t.lsn, 1u);
+  EXPECT_EQ(hs.durable_lsn(), 1u);  // already synced
+  EXPECT_FALSE(hs.disk().has_unsynced_writes());
+}
+
+TEST(HomeStore, IntervalPolicyDefersAcksUntilTheGroupCommit) {
+  sim::Simulator sim;
+  StoreOptions o = small_store();
+  o.sync_policy = SyncPolicy::kInterval;
+  o.sync_interval = sim::millis(50);
+  HomeStore hs(sim, o);
+  std::vector<Lsn> durable;
+  hs.on_durable = [&durable](Lsn lsn) { durable.push_back(lsn); };
+
+  const HomeStore::Ticket t1 = hs.log(binding("10.1.0.77", "10.3.0.1", 1));
+  const HomeStore::Ticket t2 = hs.log(binding("10.1.0.78", "10.3.0.1", 1));
+  EXPECT_FALSE(t1.ack_now);
+  EXPECT_FALSE(t2.ack_now);
+  EXPECT_EQ(hs.durable_lsn(), 0u);
+
+  sim.run_for(sim::millis(60));  // one timer fire
+  ASSERT_EQ(durable.size(), 1u);
+  EXPECT_EQ(durable[0], t2.lsn);
+  EXPECT_EQ(hs.durable_lsn(), 2u);
+  EXPECT_GE(hs.stats().interval_syncs, 1u);
+}
+
+TEST(HomeStore, AsyncPolicyAcksBeforeDurability) {
+  sim::Simulator sim;
+  StoreOptions o = small_store();
+  o.sync_policy = SyncPolicy::kAsync;
+  o.sync_interval = sim::millis(50);
+  HomeStore hs(sim, o);
+  const HomeStore::Ticket t = hs.log(binding("10.1.0.77", "10.3.0.1", 1));
+  EXPECT_TRUE(t.ack_now);
+  EXPECT_EQ(hs.durable_lsn(), 0u);  // the ack outran the disk
+  sim.run_for(sim::millis(60));
+  EXPECT_EQ(hs.durable_lsn(), 1u);  // background sync caught up
+}
+
+TEST(HomeStore, CrashAndRecoverRestoresDurableRowsOnly) {
+  sim::Simulator sim;
+  StoreOptions o = small_store();
+  o.sync_policy = SyncPolicy::kInterval;
+  o.sync_interval = sim::seconds(300);  // no commit before the crash
+  HomeStore hs(sim, o);
+  hs.log(binding("10.1.0.77", "10.3.0.1", 1));
+  ASSERT_TRUE(hs.flush());
+  hs.log(binding("10.1.0.77", "10.4.0.1", 2));  // cached, never synced
+
+  hs.crash();
+  EXPECT_TRUE(hs.down());
+  EXPECT_EQ(hs.log(binding("10.1.0.78", "10.3.0.1", 1)).lsn, 0u);
+
+  const RecoveryStats r = hs.recover();
+  EXPECT_FALSE(hs.down());
+  EXPECT_EQ(r.last_lsn, 1u);
+  EXPECT_EQ(hs.state().at(ip("10.1.0.77")).foreign_agent, ip("10.3.0.1"));
+  EXPECT_EQ(hs.stats().crashes, 1u);
+  EXPECT_EQ(hs.stats().recoveries, 1u);
+}
+
+// ---- CrashConsistencyChecker ----
+
+analysis::CrashCheckerOptions checker_options(SyncPolicy policy) {
+  analysis::CrashCheckerOptions o;
+  o.store = StoreOptions();
+  o.store.enabled = true;
+  o.store.sync_policy = policy;
+  o.store.sector_size = 512;
+  o.store.disk_sectors = 512;
+  o.store.snapshot_region_sectors = 32;
+  o.store.snapshot_every = 64;  // several compactions inside the workload
+  o.workload_records = 160;
+  o.mobiles = 6;
+  o.sync_every = 4;
+  o.seed = 0xD15C;
+  return o;
+}
+
+TEST(CrashChecker, EnumerateIsCleanUnderSyncPolicy) {
+  analysis::CrashConsistencyChecker checker(
+      checker_options(SyncPolicy::kSync));
+  analysis::AuditReport report;
+  const analysis::CrashCheckerResult r = checker.enumerate(report);
+  EXPECT_TRUE(r.clean()) << r.summary() << report.to_string();
+  EXPECT_EQ(r.acked_lost, 0u);
+  EXPECT_GT(r.crash_points, 100u);
+  EXPECT_GT(r.torn_runs, 0u);
+  EXPECT_EQ(report.count(analysis::InvariantId::kWalPrefixConsistent), 0u);
+  EXPECT_EQ(report.count(analysis::InvariantId::kDurableAckNotLost), 0u);
+}
+
+TEST(CrashChecker, EnumerateIsCleanUnderIntervalPolicy) {
+  analysis::CrashConsistencyChecker checker(
+      checker_options(SyncPolicy::kInterval));
+  analysis::AuditReport report;
+  const analysis::CrashCheckerResult r = checker.enumerate(report);
+  EXPECT_TRUE(r.clean()) << r.summary() << report.to_string();
+  EXPECT_EQ(r.acked_lost, 0u);
+}
+
+TEST(CrashChecker, FuzzThousandCrashPointsStaysClean) {
+  // The acceptance bar: >= 1000 seeded crash points, every recovery
+  // prefix-consistent and no acked registration lost under a durable
+  // policy.
+  analysis::CrashConsistencyChecker checker(
+      checker_options(SyncPolicy::kSync));
+  analysis::AuditReport report;
+  const analysis::CrashCheckerResult r = checker.fuzz(1000, report);
+  EXPECT_GE(r.runs, 1000u);
+  EXPECT_TRUE(r.clean()) << r.summary() << report.to_string();
+  EXPECT_EQ(r.acked_lost, 0u);
+}
+
+TEST(CrashChecker, AsyncPolicyLosesAckedRegistrationsMeasurably) {
+  // kAsync acks ahead of the disk; the checker must *count* the acked-
+  // then-lost registrations without flagging them as violations — the
+  // loss is the policy's documented trade, and the number is the
+  // experiment's headline.
+  analysis::CrashConsistencyChecker checker(
+      checker_options(SyncPolicy::kAsync));
+  analysis::AuditReport report;
+  const analysis::CrashCheckerResult r = checker.enumerate(report);
+  EXPECT_TRUE(r.clean()) << r.summary() << report.to_string();
+  EXPECT_GT(r.acked_lost, 0u);
+}
+
+TEST(CrashChecker, SameSeedReplaysByteIdentically) {
+  analysis::AuditReport r1;
+  analysis::AuditReport r2;
+  analysis::CrashConsistencyChecker a(checker_options(SyncPolicy::kSync));
+  analysis::CrashConsistencyChecker b(checker_options(SyncPolicy::kSync));
+  EXPECT_EQ(a.fuzz(200, r1).summary(), b.fuzz(200, r2).summary());
+}
+
+// ---- Agent integration (log-before-ack, reboot recovery) ----
+
+scenario::MhrpWorldOptions stored_world(SyncPolicy policy) {
+  scenario::MhrpWorldOptions o;
+  o.foreign_sites = 2;
+  o.mobile_hosts = 2;
+  o.correspondents = 1;
+  o.protocol.store = small_store();
+  o.protocol.store.sync_policy = policy;
+  return o;
+}
+
+TEST(AgentStore, RegistrationIsLoggedBeforeTheAckUnderSyncPolicy) {
+  scenario::MhrpWorld w(stored_world(SyncPolicy::kSync));
+  ASSERT_TRUE(w.move_and_register(0, 1));
+  EXPECT_GT(w.ha->stats().bindings_logged, 0u);
+  // Everything logged is already durable — that is what kSync means.
+  EXPECT_EQ(w.ha_store->durable_lsn(), w.ha_store->last_lsn());
+  EXPECT_EQ(w.ha_store->state().at(w.mobile_address(0)).foreign_agent,
+            w.fa_address(1));
+}
+
+TEST(AgentStore, IntervalPolicyReleasesDeferredAcksAtTheCommit) {
+  scenario::MhrpWorldOptions o = stored_world(SyncPolicy::kInterval);
+  o.protocol.store.sync_interval = sim::millis(50);
+  scenario::MhrpWorld w(o);
+  ASSERT_TRUE(w.move_and_register(0, 0));
+  EXPECT_GT(w.ha->stats().acks_deferred, 0u);
+  EXPECT_GT(w.ha->stats().acks_released, 0u);
+  EXPECT_EQ(w.ha->pending_ack_count(), 0u);
+}
+
+TEST(AgentStore, RebootRebuildsTheDatabaseFromDisk) {
+  scenario::MhrpWorld w(stored_world(SyncPolicy::kSync));
+  ASSERT_TRUE(w.move_and_register(0, 1));
+  ASSERT_TRUE(w.move_and_register(1, 0));
+  const auto b0 = w.ha->home_binding(w.mobile_address(0));
+  ASSERT_TRUE(b0.has_value());
+
+  // reboot(preserve) with a store attached is a crash + mount: the
+  // in-memory map is discarded and rebuilt from the recovered rows.
+  w.ha->reboot(/*preserve_home_database=*/true);
+  EXPECT_EQ(w.ha_store->stats().crashes, 1u);
+  EXPECT_EQ(w.ha_store->stats().recoveries, 1u);
+  const auto recovered0 = w.ha->home_binding(w.mobile_address(0));
+  const auto recovered1 = w.ha->home_binding(w.mobile_address(1));
+  ASSERT_TRUE(recovered0.has_value());
+  ASSERT_TRUE(recovered1.has_value());
+  EXPECT_EQ(*recovered0, *b0);
+  EXPECT_EQ(w.ha->home_database_size(), 2u);
+}
+
+TEST(AgentStore, RebootWithoutPreserveWipesTheDisk) {
+  scenario::MhrpWorld w(stored_world(SyncPolicy::kSync));
+  ASSERT_TRUE(w.move_and_register(0, 1));
+  w.ha->reboot(/*preserve_home_database=*/false);
+  EXPECT_EQ(w.ha->home_database_size(), 0u);
+  EXPECT_TRUE(w.ha_store->state().empty());
+  EXPECT_EQ(w.ha_store->last_lsn(), 0u);  // a freshly formatted log
+}
+
+TEST(AgentStore, RebootDropsPendingAcks) {
+  // A group-commit interval far beyond the test horizon parks every
+  // registration ack; the reboot must clear them (the mobile will
+  // retransmit — §3's registration protocol assumes lost replies).
+  scenario::MhrpWorldOptions o = stored_world(SyncPolicy::kInterval);
+  o.protocol.store.sync_interval = sim::seconds(3600);
+  scenario::MhrpWorld w(o);
+  w.mobiles[0]->attach_to(*w.cells[0]);
+  w.topo.sim().run_for(sim::seconds(3));
+  ASSERT_GT(w.ha->pending_ack_count(), 0u);
+
+  w.ha->reboot(/*preserve_home_database=*/true);
+  EXPECT_EQ(w.ha->pending_ack_count(), 0u);
+  EXPECT_GT(w.ha->stats().acks_dropped_on_crash, 0u);
+}
+
+TEST(AgentStore, AsyncPolicyCanLoseAnAckedRegistrationAcrossReboot) {
+  scenario::MhrpWorldOptions o = stored_world(SyncPolicy::kAsync);
+  o.protocol.store.sync_interval = sim::seconds(3600);  // sync never fires
+  scenario::MhrpWorld w(o);
+  ASSERT_TRUE(w.move_and_register(0, 1));  // acked, but only in the cache
+  EXPECT_LT(w.ha_store->durable_lsn(), w.ha_store->last_lsn());
+
+  w.ha->reboot(/*preserve_home_database=*/true);
+  // Nothing ever reached the media, so recovery comes back empty: the
+  // acked binding is gone — exactly the loss the crash checker counts.
+  EXPECT_FALSE(w.ha->home_binding(w.mobile_address(0)).has_value());
+}
+
+// ---- Replica recovery from its own disk ----
+
+TEST(ReplicaStore, BackupRecoversReplicatedBindingsFromItsOwnDisk) {
+  scenario::Topology topo;
+  auto& backbone = topo.add_link("backbone", sim::millis(2));
+  auto* home_router = &topo.add_router("HomeRouter");
+  auto* fa_router = &topo.add_router("FaRouter");
+  topo.connect(*home_router, backbone, ip("10.0.0.1"), 24);
+  topo.connect(*fa_router, backbone, ip("10.0.0.2"), 24);
+  auto& home_lan = topo.add_link("homeLan", sim::millis(1));
+  topo.connect(*home_router, home_lan, ip("10.1.0.1"), 24);
+  auto* ha1_host = &topo.add_host("HA1");
+  auto* ha2_host = &topo.add_host("HA2");
+  net::Interface& ha1_iface =
+      topo.connect(*ha1_host, home_lan, ip("10.1.0.2"), 24);
+  net::Interface& ha2_iface =
+      topo.connect(*ha2_host, home_lan, ip("10.1.0.3"), 24);
+  auto& cell = topo.add_link("cell", sim::millis(1));
+  net::Interface& cell_iface =
+      topo.connect(*fa_router, cell, ip("10.3.0.1"), 24);
+  core::MobileHostConfig m_config;
+  m_config.home_agent = ip("10.1.0.2");
+  auto* m = &topo.add_mobile_host("M", ip("10.1.0.77"), 24, m_config);
+  topo.install_static_routes();
+
+  core::AgentConfig ha_config;
+  ha_config.home_agent = true;
+  auto ha1 = std::make_unique<core::MhrpAgent>(*ha1_host, ha_config);
+  ha1->serve_on(ha1_iface);
+  ha1->provision_mobile_host(ip("10.1.0.77"));
+  ha1->start_advertising();
+  auto ha2 = std::make_unique<core::MhrpAgent>(*ha2_host, ha_config);
+  ha2->serve_on(ha2_iface);
+  ha2->provision_mobile_host(ip("10.1.0.77"));
+
+  // Both replicas persist to their *own* disks.
+  StoreOptions so = small_store();
+  HomeStore store1(topo.sim(), so);
+  HomeStore store2(topo.sim(), so);
+  ha1->attach_store(store1);
+  ha2->attach_store(store2);
+
+  core::HaReplicator repl1(*ha1,
+                           std::vector<net::IpAddress>{ip("10.1.0.3")},
+                           /*primary=*/true);
+  core::HaReplicator repl2(*ha2,
+                           std::vector<net::IpAddress>{ip("10.1.0.2")},
+                           /*primary=*/false);
+  repl1.start();
+  repl2.start();
+
+  core::AgentConfig fa_config;
+  fa_config.foreign_agent = true;
+  fa_config.cache_agent = false;
+  auto fa = std::make_unique<core::MhrpAgent>(*fa_router, fa_config);
+  fa->serve_on(cell_iface);
+  fa->start_advertising();
+
+  bool registered = false;
+  m->on_registered = [&registered] { registered = true; };
+  m->attach_to(cell);
+  const sim::Time deadline = topo.sim().now() + sim::seconds(30);
+  while (!registered && topo.sim().now() < deadline) {
+    topo.sim().run_for(sim::millis(100));
+  }
+  ASSERT_TRUE(registered);
+  topo.sim().run_for(sim::seconds(2));  // let the replication land
+
+  // The replicated binding reached the backup's WAL...
+  ASSERT_TRUE(ha2->home_binding(ip("10.1.0.77")).has_value());
+  EXPECT_EQ(store2.state().at(ip("10.1.0.77")).foreign_agent,
+            ip("10.3.0.1"));
+
+  // ...and a backup reboot rebuilds it from that disk, not from memory.
+  ha2->reboot(/*preserve_home_database=*/true);
+  EXPECT_EQ(store2.stats().recoveries, 1u);
+  const auto recovered = ha2->home_binding(ip("10.1.0.77"));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, ip("10.3.0.1"));
+}
+
+// ---- ScaleWorld chaos: HA crashes against the durable store ----
+
+TEST(ScaleWorldStore, HaCrashChaosLosesNothingUnderSyncAndReplays) {
+  scenario::ScaleWorldOptions opt;
+  opt.routers = 9;
+  opt.foreign_agents = 3;
+  opt.mobile_hosts = 8;
+  opt.correspondents = 2;
+  opt.mean_dwell = sim::seconds(2);
+  opt.protocol.seed = 7;
+  opt.protocol.store = small_store();  // kSync: nothing may be lost
+  opt.chaos.enabled = true;
+  opt.chaos.fault_seed = 0xfa17;
+  opt.chaos.horizon = sim::seconds(30);
+  opt.chaos.ha_crashes_per_sec = 0.2;
+  opt.chaos.mean_downtime = sim::seconds(1);
+
+  auto run = [&opt] {
+    scenario::ScaleWorld w(opt);
+    w.start();
+    w.run_for(sim::seconds(30));
+    return std::pair<std::string, std::vector<double>>(
+        w.metrics_digest(), w.ha_lost_bindings());
+  };
+  const auto [digest1, lost1] = run();
+  const auto [digest2, lost2] = run();
+
+  ASSERT_FALSE(lost1.empty()) << "the schedule must actually crash the HA";
+  for (double lost : lost1) {
+    EXPECT_EQ(lost, 0.0) << "kSync recovery dropped an acked binding";
+  }
+  EXPECT_EQ(digest1, digest2) << "store + HA chaos must replay identically";
+}
+
+}  // namespace
+}  // namespace mhrp
