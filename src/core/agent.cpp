@@ -15,7 +15,8 @@ MhrpAgent::MhrpAgent(node::Node& node, AgentConfig config)
       cache_(config.cache_capacity),
       limiter_(config.update_min_interval, config.rate_limiter_capacity),
       advertise_timer_(node.sim(), config.advertisement_period,
-                       [this] { advertise(); }) {
+                       [this] { advertise(); },
+                       sim::EventCategory::kAdvertisement) {
   node_.join_multicast(net::kAllAgentsGroup);
   node_.add_egress_hook([this](Packet& p) { on_egress(p); });
   node_.add_interceptor([this](Packet& p, net::Interface& in) {
@@ -228,6 +229,7 @@ node::Intercept MhrpAgent::home_intercept(Packet& packet) {
   const IpAddress sender = packet.header().src;
   encapsulate(packet, row.foreign_agent, agent_address());
   ++stats_.tunnels_built;
+  trace_packet("tunnel.encap", it->first);
   send_location_update(sender, it->first, row.foreign_agent);
   node_.send_ip(std::move(packet));
   return node::Intercept::kConsumed;
@@ -315,6 +317,7 @@ void MhrpAgent::on_egress(Packet& packet) {
         it->second.foreign_agent != kDetachedSentinel) {
       encapsulate(packet, it->second.foreign_agent, builder);
       ++stats_.tunnels_built;
+      trace_packet("tunnel.encap", dst);
       return;
     }
   }
@@ -322,6 +325,7 @@ void MhrpAgent::on_egress(Packet& packet) {
     if (auto fa = cache_.lookup(dst)) {
       encapsulate(packet, *fa, builder);
       ++stats_.tunnels_built;
+      trace_packet("tunnel.encap", dst);
     }
   }
 }
@@ -364,6 +368,7 @@ node::Intercept MhrpAgent::on_forward(Packet& packet, net::Interface& in) {
   // implement MHRP themselves).
   if (!is_mhrp(packet)) {
     if (auto fa = cache_.lookup(packet.header().dst)) {
+      trace_packet("tunnel.encap", packet.header().dst);
       encapsulate(packet, *fa, agent_address());
       ++stats_.tunnels_built;
       node_.send_ip(std::move(packet));
@@ -403,6 +408,7 @@ void MhrpAgent::on_mhrp_packet(Packet& packet, net::Interface& in) {
 void MhrpAgent::deliver_to_visitor(Packet packet) {
   MhrpHeader h = decapsulate(packet);
   ++stats_.delivered_to_visitor;
+  trace_packet("tunnel.decap", h.mobile_host);
   // §5.1: every address in the previous-source list is an out-of-date
   // cache agent — point them all directly at this foreign agent.
   for (IpAddress member : h.previous_sources) {
@@ -453,6 +459,7 @@ void MhrpAgent::retunnel_or_home(Packet packet) {
     }
   }
   ++stats_.retunnels;
+  trace_packet("tunnel.retunnel", h.mobile_host);
   if (!next.has_value()) ++stats_.tunneled_to_home;
   node_.send_ip(std::move(packet));
 }

@@ -33,6 +33,7 @@
 #include "node/node.hpp"
 #include "sim/timer.hpp"
 #include "store/home_store.hpp"
+#include "telemetry/trace.hpp"
 
 namespace mhrp::core {
 
@@ -112,7 +113,13 @@ class MhrpAgent {
   [[nodiscard]] const AgentConfig& config() const { return config_; }
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
   [[nodiscard]] LocationCache& cache() { return cache_; }
+  [[nodiscard]] const LocationCache& cache() const { return cache_; }
   [[nodiscard]] UpdateRateLimiter& rate_limiter() { return limiter_; }
+
+  /// Optional trace sink (nullptr = tracing off). When set, the agent
+  /// emits sampled encap/decap/retunnel instants on the packet track.
+  /// Observability only: it never changes protocol behavior.
+  void set_trace(telemetry::TraceCollector* trace) { trace_ = trace; }
 
   /// Advertise and serve mobile hosts on this interface's network. A
   /// foreign agent delivers visitors here; a home agent intercepts here.
@@ -269,6 +276,15 @@ class MhrpAgent {
   void reply_registration(net::Interface& iface, net::IpAddress dst,
                           const RegMessage& reply);
 
+  /// Sampled packet-track instant (encap/decap/retunnel). A single
+  /// branch when tracing is off.
+  void trace_packet(const char* name, net::IpAddress mobile_host) {
+    if (trace_ == nullptr) return;
+    trace_->instant(telemetry::TraceCategory::kPacket, name,
+                    node_.sim().now(), "mh",
+                    static_cast<double>(mobile_host.raw()));
+  }
+
   node::Node& node_;
   AgentConfig config_;
   AgentStats stats_;
@@ -283,6 +299,7 @@ class MhrpAgent {
   bool restoring_ = false;  // suppress logging while replaying recovery
   std::uint16_t advertisement_sequence_ = 0;
   bool passive_ = false;
+  telemetry::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace mhrp::core

@@ -30,8 +30,10 @@ MobileHost::MobileHost(sim::Simulator& sim, std::string name,
                        MobileHostConfig config)
     : Host(sim, std::move(name)),
       config_(config),
-      agent_lifetime_(sim, [this] { on_agent_lost(); }),
-      solicit_timer_(sim, config.solicit_period, [this] { solicit(); }),
+      agent_lifetime_(sim, [this] { on_agent_lost(); },
+                      sim::EventCategory::kRegistration),
+      solicit_timer_(sim, config.solicit_period, [this] { solicit(); },
+                     sim::EventCategory::kRegistration),
       cache_(config.cache_capacity),
       limiter_(config.update_min_interval),
       retry_rng_(config.retry_seed) {
@@ -237,7 +239,10 @@ void MobileHost::send_registration(RegKind kind, IpAddress dst,
   out.message = m;
   out.dst = dst;
   out.direct = direct;
-  out.timer = std::make_unique<sim::OneShotTimer>(sim(), [this, kind] {
+  out.started = sim().now();
+  out.timer = std::make_unique<sim::OneShotTimer>(
+      sim(),
+      [this, kind] {
     auto it = outstanding_.find(kind);
     if (it == outstanding_.end()) return;
     Outstanding& o = it->second;
@@ -248,6 +253,10 @@ void MobileHost::send_registration(RegKind kind, IpAddress dst,
       return;
     }
     ++stats_.registration_retransmits;
+    if (trace_ != nullptr) {
+      trace_->instant(telemetry::TraceCategory::kProtocol, "reg.retry",
+                      sim().now(), "attempt", o.attempts);
+    }
     auto bytes = o.message.encode();
     if (o.direct) {
       net::IpHeader h;
@@ -261,7 +270,8 @@ void MobileHost::send_registration(RegKind kind, IpAddress dst,
       send_udp(o.dst, kRegistrationPort, kRegistrationPort, bytes);
     }
     o.timer->arm(registration_backoff_delay(config_, o.attempts, retry_rng_));
-  });
+      },
+      sim::EventCategory::kRegistration);
   out.timer->arm(registration_backoff_delay(config_, 0, retry_rng_));
 
   auto bytes = m.encode();
@@ -316,6 +326,25 @@ void MobileHost::on_registration_udp(const net::UdpDatagram& datagram,
   auto it = outstanding_.find(request_kind);
   if (it == outstanding_.end() || it->second.message.sequence != m.sequence) {
     return;
+  }
+  if (trace_ != nullptr) {
+    const char* span_name = "reg.roundtrip";
+    switch (request_kind) {
+      case RegKind::kConnect:
+        span_name = "reg.connect";
+        break;
+      case RegKind::kHomeRegister:
+        span_name = "reg.home_register";
+        break;
+      case RegKind::kDisconnect:
+        span_name = "reg.disconnect";
+        break;
+      default:
+        break;
+    }
+    trace_->span(telemetry::TraceCategory::kProtocol, span_name,
+                 it->second.started, sim().now(), "attempts",
+                 it->second.attempts + 1);
   }
   outstanding_.erase(it);
 

@@ -30,6 +30,7 @@
 #include "core/registration.hpp"
 #include "node/host.hpp"
 #include "sim/timer.hpp"
+#include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 
 namespace mhrp::core {
@@ -132,6 +133,11 @@ class MobileHost : public node::Host {
                          net::IpAddress local_router);
   void disable_self_agent();
 
+  /// Optional trace sink (nullptr = tracing off). When set, the host
+  /// emits registration round-trip spans and retransmission instants.
+  /// Observability only: it never changes protocol behavior.
+  void set_trace(telemetry::TraceCollector* trace) { trace_ = trace; }
+
   /// Fired whenever a registration round completes (state becomes kHome
   /// or kForeign).
   std::function<void()> on_registered;
@@ -147,6 +153,7 @@ class MobileHost : public node::Host {
     net::IpAddress dst;
     bool direct = false;  // send on the radio link, bypassing routing
     int attempts = 0;
+    sim::Time started = 0;  // when the first copy was sent (for trace spans)
     std::unique_ptr<sim::OneShotTimer> timer;
   };
 
@@ -183,6 +190,7 @@ class MobileHost : public node::Host {
   LocationCache cache_;
   UpdateRateLimiter limiter_;
   util::Rng retry_rng_;
+  telemetry::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace mhrp::core

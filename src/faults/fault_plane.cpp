@@ -98,7 +98,8 @@ void FaultPlane::load(const FaultSchedule& schedule) {
       throw std::out_of_range("FaultPlane: schedule targets unregistered " +
                               std::string(is_link ? "link" : "node"));
     }
-    sim_.at(e.at, [this, e] { apply(e); });
+    sim_.at(
+        e.at, [this, e] { apply(e); }, sim::EventCategory::kFaultInjection);
   }
 }
 
@@ -110,7 +111,9 @@ void FaultPlane::apply(const FaultEvent& event) {
     inverse.kind = inverse_kind;
     inverse.at = sim_.now() + event.duration;
     inverse.duration = 0;
-    sim_.after(event.duration, [this, inverse] { apply(inverse); });
+    sim_.after(
+        event.duration, [this, inverse] { apply(inverse); },
+        sim::EventCategory::kFaultInjection);
   };
 
   switch (event.kind) {
@@ -183,12 +186,15 @@ void FaultPlane::apply(const FaultEvent& event) {
         ++stats_.drop_windows_opened;
         const FaultKind kind = event.kind;
         const std::size_t target = event.target;
-        sim_.after(event.duration, [this, kind, target] {
-          nodes_[target].drop_mask =
-              static_cast<std::uint8_t>(nodes_[target].drop_mask &
-                                        ~drop_bit(kind));
-          ++stats_.drop_windows_closed;
-        });
+        sim_.after(
+            event.duration,
+            [this, kind, target] {
+              nodes_[target].drop_mask =
+                  static_cast<std::uint8_t>(nodes_[target].drop_mask &
+                                            ~drop_bit(kind));
+              ++stats_.drop_windows_closed;
+            },
+            sim::EventCategory::kFaultInjection);
       } else {
         // Duration zero toggles the window shut.
         t.drop_mask = static_cast<std::uint8_t>(t.drop_mask &
@@ -197,6 +203,12 @@ void FaultPlane::apply(const FaultEvent& event) {
       }
       break;
     }
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(telemetry::TraceCategory::kFault,
+                    to_string(event.kind).data(), sim_.now(), "target",
+                    static_cast<double>(event.target), "duration_us",
+                    static_cast<double>(event.duration));
   }
   if (on_fault) on_fault(event);
 }

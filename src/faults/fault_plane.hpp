@@ -19,6 +19,7 @@
 #include "net/link.hpp"
 #include "node/node.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 
 namespace mhrp::faults {
@@ -76,6 +77,11 @@ class FaultPlane {
   /// (time-to-reregister, packets lost per outage) off this.
   std::function<void(const FaultEvent&)> on_fault;
 
+  /// Optional trace sink (nullptr = tracing off). When set, every
+  /// applied event lands as an instant on the fault track.
+  /// Observability only: it never changes injection behavior.
+  void set_trace(telemetry::TraceCollector* trace) { trace_ = trace; }
+
  private:
   struct NodeTarget {
     node::Node* node = nullptr;
@@ -96,6 +102,7 @@ class FaultPlane {
   std::vector<bool> impaired_;  // impairments installed (rng_ borrowed)
   std::vector<NodeTarget> nodes_;
   FaultPlaneStats stats_;
+  telemetry::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace mhrp::faults

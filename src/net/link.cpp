@@ -73,13 +73,16 @@ sim::Time Link::delay_for(std::size_t frame_bytes) const {
 // otherwise a mobile host could receive a stale agent advertisement from
 // the cell it just left and register with an unreachable agent.
 void Link::schedule_delivery(Interface* member, Frame frame, sim::Time delay) {
-  sim_.after(delay, [this, member, frame = std::move(frame)]() mutable {
-    if (!up_) {
-      ++frames_dropped_down_;
-      return;
-    }
-    if (has_member(*member)) member->deliver(std::move(frame));
-  });
+  sim_.after(
+      delay,
+      [this, member, frame = std::move(frame)]() mutable {
+        if (!up_) {
+          ++frames_dropped_down_;
+          return;
+        }
+        if (has_member(*member)) member->deliver(std::move(frame));
+      },
+      sim::EventCategory::kLinkDelivery);
 }
 
 void Link::transmit(const Interface& from, Frame frame) {

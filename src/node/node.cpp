@@ -96,9 +96,12 @@ void Node::send_ip(Packet packet) {
   if (owns_address(dst)) {
     // Loopback delivery, decoupled from the caller's stack frame.
     if (interfaces_.empty()) return;
-    sim_.after(0, [this, packet = std::move(packet)]() mutable {
-      deliver_local(packet, *interfaces_.front());
-    });
+    sim_.after(
+        0,
+        [this, packet = std::move(packet)]() mutable {
+          deliver_local(packet, *interfaces_.front());
+        },
+        sim::EventCategory::kLocalDelivery);
     return;
   }
   if (dst.is_broadcast() || dst.is_multicast()) {
@@ -205,12 +208,15 @@ void Node::send_gratuitous_arp(Interface& iface, IpAddress ip,
   reply.target_mac = net::kMacBroadcast;
   reply.target_ip = ip;
   for (int i = 0; i <= repeats; ++i) {
-    sim_.after(sim::millis(100) * i, [this, &iface, reply] {
-      // The interface may have detached in the meantime; send() handles
-      // it. A node that crashed before the repeat fires stays silent.
-      if (!up_) return;
-      iface.send(Frame{iface.mac(), net::kMacBroadcast, reply});
-    });
+    sim_.after(
+        sim::millis(100) * i,
+        [this, &iface, reply] {
+          // The interface may have detached in the meantime; send() handles
+          // it. A node that crashed before the repeat fires stays silent.
+          if (!up_) return;
+          iface.send(Frame{iface.mac(), net::kMacBroadcast, reply});
+        },
+        sim::EventCategory::kArp);
   }
 }
 
@@ -268,10 +274,10 @@ void Node::transmit(Interface& iface, Packet packet, IpAddress next_hop) {
     req.sender_ip = iface.ip();
     req.target_ip = next_hop;
     iface.send(Frame{iface.mac(), net::kMacBroadcast, req});
-    pending.retry =
-        sim_.after(kArpRetryDelay, [this, &iface, next_hop] {
-          arp_retry(iface, next_hop);
-        });
+    pending.retry = sim_.after(
+        kArpRetryDelay,
+        [this, &iface, next_hop] { arp_retry(iface, next_hop); },
+        sim::EventCategory::kArp);
   }
 }
 
@@ -297,9 +303,10 @@ void Node::arp_retry(Interface& iface, IpAddress next_hop) {
   req.sender_ip = iface.ip();
   req.target_ip = next_hop;
   iface.send(Frame{iface.mac(), net::kMacBroadcast, req});
-  pending.retry = sim_.after(kArpRetryDelay, [this, &iface, next_hop] {
-    arp_retry(iface, next_hop);
-  });
+  pending.retry = sim_.after(
+      kArpRetryDelay,
+      [this, &iface, next_hop] { arp_retry(iface, next_hop); },
+      sim::EventCategory::kArp);
 }
 
 // ---- Receive path ----

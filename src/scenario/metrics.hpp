@@ -8,7 +8,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -17,17 +16,25 @@
 
 namespace mhrp::scenario {
 
-/// Linear-interpolated percentile over a copy of `values` (`p` in
+/// Linear-interpolated percentile over an ALREADY-SORTED `values` (`p` in
 /// [0, 100]). Empty input yields 0 — callers report the count alongside.
-[[nodiscard]] inline double percentile(std::vector<double> values, double p) {
+[[nodiscard]] inline double percentile_sorted(const std::vector<double>& values,
+                                              double p) {
   if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
   const double rank =
       p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+/// Linear-interpolated percentile over a copy of `values` (`p` in
+/// [0, 100]). Empty input yields 0 — callers report the count alongside.
+[[nodiscard]] inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
 }
 
 /// The summary every recovery metric is reported as (E-chaos, §5.2).
@@ -40,25 +47,34 @@ struct PercentileSummary {
   PercentileSummary s;
   s.count = values.size();
   if (values.empty()) return s;
+  // One sort, then the sorted-input fast path — the old code re-copied
+  // and re-sorted inside each percentile() call (four sorts per summary).
   std::sort(values.begin(), values.end());
   s.max = values.back();
-  s.p50 = percentile(values, 50);
-  s.p90 = percentile(values, 90);
-  s.p99 = percentile(values, 99);
+  s.p50 = percentile_sorted(values, 50);
+  s.p90 = percentile_sorted(values, 90);
+  s.p99 = percentile_sorted(values, 99);
   return s;
 }
 
 struct Distribution {
   std::uint64_t count = 0;
   double sum = 0;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
+  // Zero until the first sample: an empty distribution must never leak
+  // +/-inf sentinels into digests or JSON exports.
+  double min = 0;
+  double max = 0;
 
   void add(double v) {
     ++count;
+    if (count == 1) {
+      min = v;
+      max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
     sum += v;
-    if (v < min) min = v;
-    if (v > max) max = v;
   }
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
@@ -74,11 +90,17 @@ struct FlowStats {
 
 class FlowRecorder {
  public:
-  /// Start recording deliveries at `receiver`. Only one FlowRecorder may
-  /// own a node's on_deliver_hook at a time.
+  /// Start recording deliveries at `receiver`. Chains any hook already
+  /// installed (a Tracer, another recorder): the previous hook runs after
+  /// this one, so attaching a recorder never silently disconnects other
+  /// observers.
   explicit FlowRecorder(node::Node& receiver) {
-    receiver.on_deliver_hook = [this, &receiver](const net::Packet& p) {
+    auto previous = std::move(receiver.on_deliver_hook);
+    receiver.on_deliver_hook = [this, &receiver,
+                                previous = std::move(previous)](
+                                   const net::Packet& p) {
       record(receiver, p);
+      if (previous) previous(p);
     };
   }
 

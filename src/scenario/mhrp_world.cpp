@@ -1,6 +1,10 @@
 #include "scenario/mhrp_world.hpp"
 
+#include <sstream>
+
 #include "scenario/audit_hooks.hpp"
+#include "scenario/replay_digest.hpp"
+#include "scenario/telemetry_hooks.hpp"
 
 namespace mhrp::scenario {
 
@@ -139,6 +143,27 @@ std::size_t MhrpWorld::total_agent_state() const {
   }
   for (const auto& ca : corr_agents) total += ca->cache().size();
   return total;
+}
+
+std::string MhrpWorld::metrics_digest() const {
+  // The registry is built on demand here (MhrpWorld is the small scripted
+  // world; nothing polls it mid-run) — probes read the same stats structs
+  // either way, so the digest matches ScaleWorld's structure.
+  telemetry::MetricRegistry reg;
+  bind_agent_probes(reg, "ha", *ha);
+  bind_agent_aggregate_probes(reg, "fa", fas);
+  bind_agent_aggregate_probes(reg, "ca", corr_agents);
+  bind_mobile_probes(reg, "mobiles", mobiles);
+  if (ha_store) bind_store_probes(reg, "store", *ha_store);
+
+  std::ostringstream out;
+  out << "mhrpworld f=" << options.foreign_sites
+      << " m=" << options.mobile_hosts << " c=" << options.correspondents
+      << " seed=" << options.protocol.seed << " now=" << topo.sim().now()
+      << "\n";
+  out << topology_digest(topo);
+  out << reg.snapshot().to_text();
+  return out.str();
 }
 
 }  // namespace mhrp::scenario

@@ -60,6 +60,10 @@ class MhrpWorld {
 
   /// Total location-update messages sent by every agent in the world.
   [[nodiscard]] std::uint64_t total_updates_sent() const;
+  /// Deterministic textual digest (topology counters plus a
+  /// metric-registry snapshot over every agent, the mobiles, and the
+  /// store) — the same replay contract as ScaleWorld::metrics_digest.
+  [[nodiscard]] std::string metrics_digest() const;
   /// Total agent control state (HA database rows + FA visiting entries +
   /// cache entries), for the scalability experiment.
   [[nodiscard]] std::size_t total_agent_state() const;

@@ -8,6 +8,7 @@
 
 #include "scenario/audit_hooks.hpp"
 #include "scenario/replay_digest.hpp"
+#include "telemetry/json_writer.hpp"
 
 namespace mhrp::scenario {
 
@@ -41,7 +42,9 @@ ScaleWorldOptions validate(ScaleWorldOptions o) {
 }  // namespace
 
 ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
-    : topo(opts.protocol.seed), options(validate(opts)) {
+    : topo(opts.protocol.seed),
+      options(validate(opts)),
+      instruments(options.telemetry) {
   const int n = options.routers;
 
   routers.reserve(static_cast<std::size_t>(n));
@@ -171,12 +174,51 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
   }
 
   audit::auto_attach(topo);
+
+  bind_instruments();
+  if (telemetry::TraceCollector* trace = instruments.trace()) {
+    ha->set_trace(trace);
+    for (auto& fa : fas) fa->set_trace(trace);
+    for (auto& ca : corr_agents) ca->set_trace(trace);
+    for (core::MobileHost* m : mobiles) m->set_trace(trace);
+    if (ha_store) ha_store->set_trace(trace);
+  }
+  if (instruments.profiler() != nullptr) {
+    topo.sim().set_profiler(instruments.profiler());
+  }
+}
+
+void ScaleWorld::bind_instruments() {
+  telemetry::MetricRegistry& reg = instruments.registry;
+  bind_agent_probes(reg, "ha", *ha);
+  bind_agent_aggregate_probes(reg, "fa", fas);
+  bind_agent_aggregate_probes(reg, "ca", corr_agents);
+  bind_mobile_probes(reg, "mobiles", mobiles);
+  if (ha_store) bind_store_probes(reg, "store", *ha_store);
+  reg.probe("mobiles.delivered", [this] {
+    std::uint64_t total = 0;
+    for (const auto& r : recorders_) total += r->total().received;
+    return static_cast<double>(total);
+  });
+  reg.probe("world.agent_state_total",
+            [this] { return static_cast<double>(total_agent_state()); });
+  reg.probe("world.agent_state_busiest",
+            [this] { return static_cast<double>(busiest_node_state()); });
+  handoff_latency_h_ = &reg.histogram("handoff.latency_s");
+  recovery_time_h_ = &reg.histogram("recovery.time_s");
+  outage_loss_h_ = &reg.histogram("outage.loss_pkts");
+  binding_staleness_h_ = &reg.histogram("binding.staleness_s");
+  ha_lost_bindings_h_ = &reg.histogram("ha.lost_bindings");
+  ha_recovery_h_ = &reg.histogram("ha.recovery_s");
 }
 
 ScaleWorld::~ScaleWorld() {
   // The binding oracle captures `this`; the process-global auditor
   // outlives the world.
   if (oracle_installed_) audit::global_auditor().set_binding_oracle(nullptr);
+  // `instruments` (declared after `topo`) is destroyed first; the
+  // simulator must not keep a pointer into it.
+  topo.sim().set_profiler(nullptr);
 }
 
 net::IpAddress ScaleWorld::mobile_address(int i) const {
@@ -194,8 +236,15 @@ void ScaleWorld::start() {
     m->on_registered = [this, i] {
       close_recovery(i);
       if (attach_times_[i] < 0) return;
-      handoff_latencies_.push_back(
-          sim::to_seconds(topo.sim().now() - attach_times_[i]));
+      const double latency =
+          sim::to_seconds(topo.sim().now() - attach_times_[i]);
+      handoff_latencies_.push_back(latency);
+      handoff_latency_h_->record(latency);
+      if (telemetry::TraceCollector* trace = instruments.trace()) {
+        trace->span(telemetry::TraceCategory::kProtocol, "handoff.rebind",
+                    attach_times_[i], topo.sim().now(), "mobile",
+                    static_cast<double>(i));
+      }
       attach_times_[i] = -1;
     };
 
@@ -220,10 +269,13 @@ void ScaleWorld::start() {
     const sim::Time offset =
         spread * static_cast<sim::Time>(i) /
         static_cast<sim::Time>(std::max<std::size_t>(mobiles.size(), 1));
-    topo.sim().after(offset, [this, i] {
-      schedules_[i]->start();
-      flows_[i]->start();
-    });
+    topo.sim().after(
+        offset,
+        [this, i] {
+          schedules_[i]->start();
+          flows_[i]->start();
+        },
+        sim::EventCategory::kMovement);
   }
 
   arm_chaos();
@@ -281,6 +333,10 @@ void ScaleWorld::arm_chaos() {
   fault_plane_->on_fault = [this](const faults::FaultEvent& e) {
     note_fault(e);
   };
+  if (instruments.trace() != nullptr) {
+    fault_plane_->set_trace(instruments.trace());
+  }
+  bind_fault_probes(instruments.registry, "faults", *fault_plane_);
 
   outages_.assign(mobiles.size(), Outage{});
   ha_bindings_.assign(mobiles.size(), net::IpAddress());
@@ -292,8 +348,10 @@ void ScaleWorld::arm_chaos() {
     ha_bindings_[i] = fa;
     binding_changed_at_[i] = topo.sim().now();
     if (outages_[i].staleness_start >= 0) {
-      binding_staleness_.push_back(
-          sim::to_seconds(topo.sim().now() - outages_[i].staleness_start));
+      const double staleness =
+          sim::to_seconds(topo.sim().now() - outages_[i].staleness_start);
+      binding_staleness_.push_back(staleness);
+      binding_staleness_h_->record(staleness);
       outages_[i].staleness_start = -1;
     }
   };
@@ -363,7 +421,10 @@ void ScaleWorld::note_fault(const faults::FaultEvent& event) {
       }
     }
     ha_lost_bindings_.push_back(static_cast<double>(lost));
-    ha_recovery_times_.push_back(sim::to_seconds(now - ha_crashed_at_));
+    ha_lost_bindings_h_->record(static_cast<double>(lost));
+    const double downtime = sim::to_seconds(now - ha_crashed_at_);
+    ha_recovery_times_.push_back(downtime);
+    ha_recovery_h_->record(downtime);
     ha_crashed_at_ = -1;
     return;
   }
@@ -398,10 +459,13 @@ void ScaleWorld::close_recovery(std::size_t i) {
   const double elapsed =
       sim::to_seconds(topo.sim().now() - o.recovery_start);
   recovery_times_.push_back(elapsed);
+  recovery_time_h_->record(elapsed);
   const double expected = elapsed / sim::to_seconds(options.cbr_interval);
   const double received = static_cast<double>(
       recorders_[i]->total().received - o.received_at_start);
-  outage_losses_.push_back(std::max(0.0, expected - received));
+  const double loss = std::max(0.0, expected - received);
+  outage_losses_.push_back(loss);
+  outage_loss_h_->record(loss);
   o.recovery_start = -1;
 }
 
@@ -456,49 +520,17 @@ std::string ScaleWorld::metrics_digest() const {
       << " now=" << topo.sim().now() << " events=" << events_executed_ << "\n";
   out << topology_digest(topo);
 
-  auto agent_line = [&out](const char* tag, const core::MhrpAgent& agent) {
-    const core::AgentStats& s = agent.stats();
-    out << tag << " reg=" << s.registrations << " tun=" << s.tunnels_built
-        << " retun=" << s.retunnels << " upd_tx=" << s.updates_sent
-        << " upd_rx=" << s.updates_received << " loops=" << s.loops_detected
-        << " deliv=" << s.delivered_to_visitor << "\n";
-  };
-  agent_line("ha", *ha);
-  for (const auto& fa : fas) agent_line("fa", *fa);
-  for (const auto& ca : corr_agents) agent_line("ca", *ca);
+  // One line per registered metric (sorted by name): the agent, mobile,
+  // store, and fault-plane probes plus the latency histograms. Probes
+  // read the same stats structs the old hand-built lines printed, so the
+  // digest still captures every protocol-observable counter — now
+  // through the registry, which holds no wall-clock or trace-dependent
+  // values (telemetry on/off cannot change a byte here).
+  out << instruments.registry.snapshot().to_text();
 
   if (ha_store) {
-    const store::WalStoreStats& w = ha_store->wal().stats();
-    const store::HomeStoreStats& h = ha_store->stats();
-    out << "store policy=" << to_string(ha_store->policy())
-        << " logged=" << h.logged << " appends=" << w.appends
-        << " syncs=" << w.syncs << " snapshots=" << w.snapshots
-        << " lsn=" << ha_store->last_lsn()
-        << " durable=" << ha_store->durable_lsn()
-        << " crashes=" << h.crashes << " recoveries=" << h.recoveries
-        << " acks_deferred=" << ha->stats().acks_deferred
-        << " acks_released=" << ha->stats().acks_released
-        << " acks_dropped=" << ha->stats().acks_dropped_on_crash << "\n";
+    out << "store policy=" << to_string(ha_store->policy()) << "\n";
   }
-
-  std::uint64_t total_reg = 0;
-  std::uint64_t total_retx = 0;
-  std::uint64_t total_abandoned = 0;
-  for (std::size_t i = 0; i < mobiles.size(); ++i) {
-    const core::MobileHostStats& s = mobiles[i]->stats();
-    total_reg += s.registrations_completed;
-    total_retx += s.registration_retransmits;
-    total_abandoned += s.registrations_abandoned;
-    out << "mobile " << i << " moves=" << s.moves
-        << " reg=" << s.registrations_completed
-        << " retx=" << s.registration_retransmits
-        << " abandoned=" << s.registrations_abandoned
-        << " tunneled=" << s.tunneled_received << " delivered="
-        << (i < recorders_.size() ? recorders_[i]->total().received : 0)
-        << "\n";
-  }
-  out << "mobiles_total reg=" << total_reg << " retx=" << total_retx
-      << " abandoned=" << total_abandoned << "\n";
 
   char buf[32];
   auto series = [&out, &buf](const char* tag, const std::vector<double>& v) {
@@ -520,6 +552,44 @@ std::string ScaleWorld::metrics_digest() const {
     series("ha_recovery", ha_recovery_times_);
   }
   return out.str();
+}
+
+std::string ScaleWorld::metrics_json() const {
+  std::ostringstream out;
+  telemetry::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema");
+  json.value("mhrp.scaleworld.metrics.v1");
+  json.key("params");
+  json.begin_object();
+  json.key("backbone");
+  json.value(options.backbone == ScaleWorldOptions::Backbone::kGrid ? "grid"
+                                                                    : "tree");
+  json.key("routers");
+  json.value(options.routers);
+  json.key("foreign_agents");
+  json.value(options.foreign_agents);
+  json.key("mobile_hosts");
+  json.value(options.mobile_hosts);
+  json.key("correspondents");
+  json.value(options.correspondents);
+  json.key("seed");
+  json.value(options.protocol.seed);
+  json.key("chaos");
+  json.value(options.chaos.enabled);
+  json.end_object();
+  json.key("now_us");
+  json.value(topo.sim().now());
+  json.key("events_executed");
+  json.value(events_executed_);
+  json.key("metrics");
+  instruments.registry.snapshot().write_json(json);
+  json.end_object();
+  return out.str();
+}
+
+std::string ScaleWorld::metrics_csv() const {
+  return instruments.registry.snapshot().to_csv();
 }
 
 }  // namespace mhrp::scenario

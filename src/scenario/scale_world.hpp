@@ -18,6 +18,7 @@
 #include "scenario/metrics.hpp"
 #include "store/home_store.hpp"
 #include "scenario/protocol_options.hpp"
+#include "scenario/telemetry_hooks.hpp"
 #include "scenario/topology.hpp"
 #include "scenario/workload.hpp"
 
@@ -65,6 +66,8 @@ struct ScaleWorldOptions {
   ProtocolOptions protocol;
   /// Fault injection (off by default; see ChaosOptions).
   ChaosOptions chaos;
+  /// Observability (registry always on; trace/profiler off by default).
+  TelemetryOptions telemetry;
 };
 
 /// Wall-clock-free results of one run_for() slice (all values are
@@ -85,6 +88,13 @@ class ScaleWorld {
 
   Topology topo;
   ScaleWorldOptions options;
+
+  /// Metric registry (always bound — probes over every agent, the mobile
+  /// population, the store, and the fault plane), plus the optional trace
+  /// collector and event-loop profiler per options.telemetry. The
+  /// registry holds only protocol-observable values, so its snapshot is
+  /// byte-identical with tracing/profiling on or off.
+  WorldTelemetry instruments;
 
   node::Router* home_router = nullptr;
   net::Link* home_lan = nullptr;
@@ -164,12 +174,21 @@ class ScaleWorld {
   [[nodiscard]] std::size_t busiest_node_state() const;
 
   /// Deterministic textual digest of everything observable after a run:
-  /// node counters, link totals, agent stats, handoff latencies, and
-  /// delivery counts. Two same-seed worlds driven identically must
-  /// produce byte-identical digests (the replay regression test asserts
-  /// exactly that). Process-global identifiers (packet ids, flow ids,
-  /// MAC addresses) are deliberately excluded.
+  /// node counters, link totals, the metric-registry snapshot (agent,
+  /// mobile, store, and fault-plane probes plus the latency histograms),
+  /// and the raw latency series. Two same-seed worlds driven identically
+  /// must produce byte-identical digests (the replay regression test
+  /// asserts exactly that), with telemetry collection on or off.
+  /// Process-global identifiers (packet ids, flow ids, MAC addresses)
+  /// are deliberately excluded.
   [[nodiscard]] std::string metrics_digest() const;
+
+  /// The registry snapshot as a strict JSON document (schema
+  /// "mhrp.scaleworld.metrics.v1": run parameters + every metric).
+  /// Throws telemetry::NonFiniteJsonError if any value is non-finite.
+  [[nodiscard]] std::string metrics_json() const;
+  /// The registry snapshot as "name,kind,field,value" CSV rows.
+  [[nodiscard]] std::string metrics_csv() const;
 
  private:
   /// One mobile's open outage, if any (start < 0 = none). The recovery
@@ -182,6 +201,7 @@ class ScaleWorld {
   };
 
   void arm_chaos();
+  void bind_instruments();
   void note_fault(const faults::FaultEvent& event);
   void open_outages_for(net::IpAddress foreign_agent);
   void close_recovery(std::size_t i);
@@ -204,6 +224,16 @@ class ScaleWorld {
   std::vector<net::IpAddress> ha_bindings_;      // per mobile, HA's view
   std::vector<sim::Time> binding_changed_at_;    // per mobile
   bool oracle_installed_ = false;
+  // Registry-owned histograms mirroring the latency series above — the
+  // O(1)-record replacement for sorting the raw vectors at report time.
+  // Recorded unconditionally (always-on callbacks), so the snapshot is
+  // identical whether tracing/profiling is enabled.
+  telemetry::Histogram* handoff_latency_h_ = nullptr;
+  telemetry::Histogram* recovery_time_h_ = nullptr;
+  telemetry::Histogram* outage_loss_h_ = nullptr;
+  telemetry::Histogram* binding_staleness_h_ = nullptr;
+  telemetry::Histogram* ha_lost_bindings_h_ = nullptr;
+  telemetry::Histogram* ha_recovery_h_ = nullptr;
   std::uint64_t events_executed_ = 0;
   ScaleRunStats last_totals_;
   bool started_ = false;

@@ -10,6 +10,7 @@ node::Router& Topology::add_router(const std::string& name) {
   nodes_.push_back(std::move(router));
   is_mobile_.push_back(false);
   by_name_[name] = &ref;
+  notify_node_added(ref);
   return ref;
 }
 
@@ -19,6 +20,7 @@ node::Host& Topology::add_host(const std::string& name) {
   nodes_.push_back(std::move(host));
   is_mobile_.push_back(false);
   by_name_[name] = &ref;
+  notify_node_added(ref);
   return ref;
 }
 
@@ -32,6 +34,7 @@ core::MobileHost& Topology::add_mobile_host(const std::string& name,
   nodes_.push_back(std::move(mh));
   is_mobile_.push_back(true);
   by_name_[name] = &ref;
+  notify_node_added(ref);
   return ref;
 }
 
@@ -40,7 +43,23 @@ node::Node& Topology::adopt(std::unique_ptr<node::Node> node) {
   by_name_[node->name()] = node.get();
   nodes_.push_back(std::move(node));
   is_mobile_.push_back(false);
+  notify_node_added(ref);
   return ref;
+}
+
+std::size_t Topology::add_node_added_hook(NodeAddedHook hook) {
+  node_added_hooks_.push_back(std::move(hook));
+  return node_added_hooks_.size() - 1;
+}
+
+void Topology::remove_node_added_hook(std::size_t token) {
+  if (token < node_added_hooks_.size()) node_added_hooks_[token] = nullptr;
+}
+
+void Topology::notify_node_added(node::Node& node) {
+  for (auto& hook : node_added_hooks_) {
+    if (hook) hook(node);
+  }
 }
 
 net::Link& Topology::add_link(const std::string& name, sim::Time latency,

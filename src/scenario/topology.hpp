@@ -9,6 +9,7 @@
 // move). Routers get complete shortest-path tables.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -76,7 +77,22 @@ class Topology {
   /// path stretch against the optimum.
   [[nodiscard]] int hop_distance(const node::Node& a, const node::Node& b);
 
+  // ---- Observation ----
+
+  using NodeAddedHook = std::function<void(node::Node&)>;
+
+  /// Register a hook fired for every node added from now on (all
+  /// construction paths: add_router/add_host/add_mobile_host/adopt).
+  /// Returns a token for remove_node_added_hook. Observers like Tracer
+  /// use this to cover nodes created after they attached.
+  std::size_t add_node_added_hook(NodeAddedHook hook);
+  /// Unregister; the token must come from add_node_added_hook. Safe to
+  /// call once for an already-removed token.
+  void remove_node_added_hook(std::size_t token);
+
  private:
+  void notify_node_added(node::Node& node);
+
   [[nodiscard]] routing::Graph build_graph() const;
   [[nodiscard]] int index_of(const node::Node& node) const;
 
@@ -87,6 +103,7 @@ class Topology {
   std::map<std::string, node::Node*> by_name_;
   std::map<std::string, net::Link*> link_by_name_;
   std::vector<bool> is_mobile_;  // parallel to nodes_
+  std::vector<NodeAddedHook> node_added_hooks_;  // removed slots are null
 };
 
 }  // namespace mhrp::scenario

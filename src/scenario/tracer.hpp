@@ -17,8 +17,14 @@ namespace mhrp::scenario {
 class Tracer {
  public:
   /// Attach to every node currently in the topology, writing to `out`
-  /// (defaults to std::clog). Call after the topology is built.
+  /// (defaults to std::clog). Nodes added to the topology later are
+  /// attached too, via the topology's node-added hook, so construction
+  /// order no longer silently leaves late nodes untraced.
   explicit Tracer(Topology& topo, std::ostream* out = nullptr);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
   /// True when the MHRP_TRACE environment variable asks for tracing.
   static bool enabled_by_env();
@@ -33,6 +39,7 @@ class Tracer {
   Topology& topo_;
   std::ostream* out_;
   std::uint64_t events_ = 0;
+  std::size_t hook_token_ = 0;
 };
 
 }  // namespace mhrp::scenario

@@ -17,7 +17,8 @@ CbrFlow::CbrFlow(node::Host& src, net::IpAddress dst, std::uint16_t dst_port,
       dst_(dst),
       dst_port_(dst_port),
       payload_(payload_size, 0x42),
-      timer_(src.sim(), interval, [this] { tick(); }),
+      timer_(src.sim(), interval, [this] { tick(); },
+             sim::EventCategory::kWorkload),
       flow_id_(next_flow_id()) {}
 
 void CbrFlow::start() {
@@ -51,7 +52,8 @@ MovementSchedule::MovementSchedule(core::MobileHost& host,
       mean_dwell_(mean_dwell),
       rng_(rng),
       random_order_(random_order),
-      timer_(host.sim(), [this] { move_next(); }) {}
+      timer_(host.sim(), [this] { move_next(); },
+             sim::EventCategory::kMovement) {}
 
 void MovementSchedule::start() { move_next(); }
 

@@ -1,0 +1,54 @@
+// Event categories for handler attribution. Every scheduled event carries
+// a one-byte category tag (default kGeneral) so the event-loop profiler
+// can break down event counts and wall-time by what kind of work the
+// simulator is doing — link deliveries vs ARP churn vs registration
+// traffic — without inspecting the closures themselves.
+#pragma once
+
+#include <cstdint>
+
+namespace mhrp::sim {
+
+enum class EventCategory : std::uint8_t {
+  kGeneral = 0,     // untagged / miscellaneous
+  kLinkDelivery,    // frame propagation across a Link
+  kLocalDelivery,   // loopback / same-node delivery
+  kArp,             // ARP requests, retries, gratuitous announcements
+  kAdvertisement,   // agent advertisement beacons
+  kRegistration,    // MHRP registration send / retransmit timers
+  kMovement,        // scripted mobility (detach/attach)
+  kWorkload,        // scenario traffic generators (CBR flows, probes)
+  kStoreSync,       // home-agent store WAL sync timers
+  kFaultInjection,  // fault-plane schedule (link down/up, crashes)
+  kCount,
+};
+
+inline const char* event_category_name(EventCategory cat) {
+  switch (cat) {
+    case EventCategory::kGeneral:
+      return "general";
+    case EventCategory::kLinkDelivery:
+      return "link_delivery";
+    case EventCategory::kLocalDelivery:
+      return "local_delivery";
+    case EventCategory::kArp:
+      return "arp";
+    case EventCategory::kAdvertisement:
+      return "advertisement";
+    case EventCategory::kRegistration:
+      return "registration";
+    case EventCategory::kMovement:
+      return "movement";
+    case EventCategory::kWorkload:
+      return "workload";
+    case EventCategory::kStoreSync:
+      return "store_sync";
+    case EventCategory::kFaultInjection:
+      return "fault_injection";
+    case EventCategory::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace mhrp::sim

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/event_category.hpp"
 #include "sim/time.hpp"
 
 namespace mhrp::sim {
@@ -68,7 +69,10 @@ class EventQueue {
 
   /// Schedule `action` at absolute time `when`. Times may not decrease
   /// relative to already-popped events; the Simulator enforces that.
-  EventHandle schedule(Time when, Action action) {
+  /// `category` tags the event for profiler attribution; it does not
+  /// affect ordering.
+  EventHandle schedule(Time when, Action action,
+                       EventCategory category = EventCategory::kGeneral) {
     std::uint32_t slot;
     if (free_head_ != kNoSlot) {
       slot = free_head_;
@@ -79,6 +83,7 @@ class EventQueue {
     }
     Slot& s = slots_[slot];
     s.action = std::move(action);
+    s.category = category;
     s.live = true;
     heap_.push_back(HeapItem{when, next_seq_++, slot, s.generation});
     sift_up(heap_.size() - 1);
@@ -113,17 +118,25 @@ class EventQueue {
     return heap_.front().when;
   }
 
+  /// A popped event: its firing time, its action, and its category tag.
+  struct Fired {
+    Time when;
+    Action action;
+    EventCategory category;
+  };
+
   /// Remove and return the next live event. Requires !empty(). The slot
   /// is released before returning, so the event's handle reports
   /// non-pending while the action runs (and cancelling it returns false).
-  std::pair<Time, Action> pop() {
+  Fired pop() {
     drop_orphans();
     const HeapItem top = heap_.front();
     pop_root();
     Action action = std::move(slots_[top.slot].action);
+    const EventCategory category = slots_[top.slot].category;
     release(top.slot);
     --live_;
-    return {top.when, std::move(action)};
+    return Fired{top.when, std::move(action), category};
   }
 
  private:
@@ -135,6 +148,7 @@ class EventQueue {
     Action action;
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNoSlot;
+    EventCategory category = EventCategory::kGeneral;  // fits slot padding
     bool live = false;
   };
 

@@ -7,7 +7,9 @@
 #include <functional>
 #include <limits>
 
+#include "sim/event_category.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/profiler.hpp"
 #include "sim/time.hpp"
 
 namespace mhrp::sim {
@@ -22,17 +24,27 @@ class Simulator {
   /// Schedule `action` at absolute simulated time `when`; times in the
   /// past are clamped to `now()` (the event still fires, immediately
   /// after already-queued events at `now()`).
-  EventHandle at(Time when, Action action) {
+  EventHandle at(Time when, Action action,
+                 EventCategory category = EventCategory::kGeneral) {
     if (when < now_) when = now_;
-    return queue_.schedule(when, std::move(action));
+    return queue_.schedule(when, std::move(action), category);
   }
 
   /// Schedule `action` after a relative delay (>= 0) from now.
-  EventHandle after(Time delay, Action action) {
-    return at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+  EventHandle after(Time delay, Action action,
+                    EventCategory category = EventCategory::kGeneral) {
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(action), category);
   }
 
   bool cancel(const EventHandle& handle) { return queue_.cancel(handle); }
+
+  /// Install (or clear, with nullptr) an event-loop profiler. The profiler
+  /// observes wall-time only; scheduling and simulated time are unaffected,
+  /// so profiled and unprofiled runs stay replay-identical. Takes effect at
+  /// the next run()/run_until()/run_for() call: the loop body is selected
+  /// once per run, so the unprofiled path carries no per-event check.
+  void set_profiler(EventLoopProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] EventLoopProfiler* profiler() const { return profiler_; }
 
   /// Run until the queue is empty or stop() is called. Returns the number
   /// of events executed.
@@ -42,19 +54,8 @@ class Simulator {
   /// `deadline` when the queue drains early (so subsequent `after()`
   /// calls are relative to the deadline). Returns events executed.
   std::size_t run_until(Time deadline) {
-    stopped_ = false;
-    std::size_t executed = 0;
-    while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-      auto [when, action] = queue_.pop();
-      now_ = when;
-      action();
-      ++executed;
-    }
-    if (!stopped_ && deadline != std::numeric_limits<Time>::max() &&
-        now_ < deadline) {
-      now_ = deadline;
-    }
-    return executed;
+    return profiler_ == nullptr ? run_loop<false>(deadline)
+                                : run_loop<true>(deadline);
   }
 
   /// Run for a relative duration from the current clock.
@@ -63,9 +64,9 @@ class Simulator {
   /// Execute exactly one event, if any. Returns whether one ran.
   bool step() {
     if (queue_.empty()) return false;
-    auto [when, action] = queue_.pop();
-    now_ = when;
-    action();
+    auto fired = queue_.pop();
+    now_ = fired.when;
+    fired.action();
     return true;
   }
 
@@ -76,9 +77,36 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
  private:
+  /// The executive loop, instantiated with and without profiling so the
+  /// unprofiled (default) build of the loop is instruction-identical to
+  /// an executive with no telemetry at all — zero cost when disabled.
+  template <bool kProfiled>
+  std::size_t run_loop(Time deadline) {
+    stopped_ = false;
+    std::size_t executed = 0;
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+      auto fired = queue_.pop();
+      now_ = fired.when;
+      if constexpr (kProfiled) {
+        const auto started = profiler_->begin_event();
+        fired.action();
+        profiler_->end_event(fired.category, started);
+      } else {
+        fired.action();
+      }
+      ++executed;
+    }
+    if (!stopped_ && deadline != std::numeric_limits<Time>::max() &&
+        now_ < deadline) {
+      now_ = deadline;
+    }
+    return executed;
+  }
+
   EventQueue queue_;
   Time now_ = kTimeZero;
   bool stopped_ = false;
+  EventLoopProfiler* profiler_ = nullptr;
 };
 
 }  // namespace mhrp::sim

@@ -18,8 +18,12 @@ class PeriodicTimer {
  public:
   using Action = std::function<void()>;
 
-  PeriodicTimer(Simulator& sim, Time period, Action action)
-      : sim_(sim), period_(period), action_(std::move(action)) {}
+  PeriodicTimer(Simulator& sim, Time period, Action action,
+                EventCategory category = EventCategory::kGeneral)
+      : sim_(sim),
+        period_(period),
+        action_(std::move(action)),
+        category_(category) {}
 
   PeriodicTimer(const PeriodicTimer&) = delete;
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
@@ -30,7 +34,7 @@ class PeriodicTimer {
   void start_after(Time initial_delay) {
     stop();
     running_ = true;
-    handle_ = sim_.after(initial_delay, [this] { fire(); });
+    handle_ = sim_.after(initial_delay, [this] { fire(); }, category_);
   }
 
   void stop() {
@@ -47,7 +51,7 @@ class PeriodicTimer {
  private:
   void fire() {
     // Re-arm before running the action so the action may call stop().
-    handle_ = sim_.after(period_, [this] { fire(); });
+    handle_ = sim_.after(period_, [this] { fire(); }, category_);
     action_();
   }
 
@@ -55,6 +59,7 @@ class PeriodicTimer {
   Time period_;
   Action action_;
   EventHandle handle_;
+  EventCategory category_ = EventCategory::kGeneral;
   bool running_ = false;
 };
 
@@ -63,8 +68,9 @@ class OneShotTimer {
  public:
   using Action = std::function<void()>;
 
-  OneShotTimer(Simulator& sim, Action action)
-      : sim_(sim), action_(std::move(action)) {}
+  OneShotTimer(Simulator& sim, Action action,
+               EventCategory category = EventCategory::kGeneral)
+      : sim_(sim), action_(std::move(action)), category_(category) {}
 
   OneShotTimer(const OneShotTimer&) = delete;
   OneShotTimer& operator=(const OneShotTimer&) = delete;
@@ -74,10 +80,13 @@ class OneShotTimer {
   void arm(Time delay) {
     cancel();
     armed_ = true;
-    handle_ = sim_.after(delay, [this] {
-      armed_ = false;
-      action_();
-    });
+    handle_ = sim_.after(
+        delay,
+        [this] {
+          armed_ = false;
+          action_();
+        },
+        category_);
   }
 
   void cancel() {
@@ -93,6 +102,7 @@ class OneShotTimer {
   Simulator& sim_;
   Action action_;
   EventHandle handle_;
+  EventCategory category_ = EventCategory::kGeneral;
   bool armed_ = false;
 };
 

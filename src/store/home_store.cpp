@@ -5,11 +5,13 @@
 namespace mhrp::store {
 
 HomeStore::HomeStore(sim::Simulator& sim, const StoreOptions& options)
-    : options_(options),
+    : sim_(sim),
+      options_(options),
       disk_(std::make_unique<SimDisk>(options.sector_size,
                                       options.disk_sectors)),
       wal_(std::make_unique<WalStore>(*disk_, options)),
-      sync_timer_(sim, options.sync_interval, [this] { interval_fire(); }) {
+      sync_timer_(sim, options.sync_interval, [this] { interval_fire(); },
+                  sim::EventCategory::kStoreSync) {
   wal_->format();
   if (options_.sync_policy != SyncPolicy::kSync &&
       options_.sync_interval > 0) {
@@ -19,6 +21,23 @@ HomeStore::HomeStore(sim::Simulator& sim, const StoreOptions& options)
 
 HomeStore::~HomeStore() = default;
 
+void HomeStore::note_append() {
+  if (pending_since_ < 0) pending_since_ = sim_.now();
+}
+
+// Close the current group-commit window: everything appended since
+// pending_since_ just became durable.
+void HomeStore::note_synced(const char* reason) {
+  if (pending_since_ < 0) return;
+  if (trace_ != nullptr) {
+    trace_->span(telemetry::TraceCategory::kStore, "wal.commit",
+                 pending_since_, sim_.now(), "policy",
+                 static_cast<double>(static_cast<int>(options_.sync_policy)),
+                 reason, 1.0);
+  }
+  pending_since_ = -1;
+}
+
 HomeStore::Ticket HomeStore::log(const WalRecord& record) {
   if (down_) return {};
   const Lsn lsn = wal_->append(record);
@@ -27,12 +46,14 @@ HomeStore::Ticket HomeStore::log(const WalRecord& record) {
     return {};
   }
   ++stats_.logged;
+  note_append();
   switch (options_.sync_policy) {
     case SyncPolicy::kSync:
       if (!wal_->sync()) {
         crash();
         return {};  // never ack a registration the crash just ate
       }
+      note_synced("sync");
       ++stats_.acks_immediate;
       return {lsn, true};
     case SyncPolicy::kInterval:
@@ -51,6 +72,7 @@ bool HomeStore::flush() {
     crash();
     return false;
   }
+  note_synced("flush");
   return true;
 }
 
@@ -61,6 +83,7 @@ void HomeStore::interval_fire() {
     crash();
     return;
   }
+  note_synced("interval");
   ++stats_.interval_syncs;
   if (on_durable) on_durable(wal_->durable_lsn());
 }
@@ -69,6 +92,8 @@ void HomeStore::crash() {
   if (down_) return;
   down_ = true;
   ++stats_.crashes;
+  crashed_at_ = sim_.now();
+  pending_since_ = -1;  // the window's appends died with the cache
   sync_timer_.stop();
   disk_->crash();
 }
@@ -77,6 +102,12 @@ RecoveryStats HomeStore::recover() {
   auto out = wal_->recover();
   down_ = false;
   ++stats_.recoveries;
+  if (trace_ != nullptr && crashed_at_ >= 0) {
+    trace_->span(telemetry::TraceCategory::kStore, "crash.recovery",
+                 crashed_at_, sim_.now(), "records_replayed",
+                 static_cast<double>(out.records_replayed));
+  }
+  crashed_at_ = -1;
   if (options_.sync_policy != SyncPolicy::kSync &&
       options_.sync_interval > 0) {
     sync_timer_.start();
@@ -88,6 +119,8 @@ void HomeStore::reset() {
   disk_->crash();  // drop any cached sectors from the previous life
   wal_->format();
   down_ = false;
+  pending_since_ = -1;
+  crashed_at_ = -1;
   if (options_.sync_policy != SyncPolicy::kSync &&
       options_.sync_interval > 0) {
     sync_timer_.start();

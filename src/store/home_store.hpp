@@ -27,6 +27,7 @@
 #include "store/sim_disk.hpp"
 #include "store/store_options.hpp"
 #include "store/wal_store.hpp"
+#include "telemetry/trace.hpp"
 
 namespace mhrp::store {
 
@@ -90,18 +91,31 @@ class HomeStore {
   [[nodiscard]] Lsn last_lsn() const { return wal_->last_lsn(); }
   [[nodiscard]] const HomeStoreStats& stats() const { return stats_; }
   [[nodiscard]] WalStore& wal() { return *wal_; }
+  [[nodiscard]] const WalStore& wal() const { return *wal_; }
   [[nodiscard]] SimDisk& disk() { return *disk_; }
   [[nodiscard]] std::string digest() const;
 
+  /// Optional trace sink (nullptr = tracing off). When set, the store
+  /// emits "wal.commit" spans covering each group-commit window (first
+  /// pending append -> sync) and "crash.recovery" spans (crash ->
+  /// recover). Observability only: it never changes store behavior.
+  void set_trace(telemetry::TraceCollector* trace) { trace_ = trace; }
+
  private:
   void interval_fire();
+  void note_append();
+  void note_synced(const char* reason);
 
+  sim::Simulator& sim_;
   StoreOptions options_;
   std::unique_ptr<SimDisk> disk_;
   std::unique_ptr<WalStore> wal_;
   sim::PeriodicTimer sync_timer_;
   bool down_ = false;
   HomeStoreStats stats_;
+  telemetry::TraceCollector* trace_ = nullptr;
+  sim::Time pending_since_ = -1;  // first un-synced append; -1 = none
+  sim::Time crashed_at_ = -1;
 };
 
 }  // namespace mhrp::store

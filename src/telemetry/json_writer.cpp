@@ -1,0 +1,129 @@
+#include "telemetry/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mhrp::telemetry {
+
+void JsonWriter::separate() {
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.key_pending) {
+    top.key_pending = false;
+    return;  // the key already emitted the separator
+  }
+  if (!top.first) out_ << ',';
+  top.first = false;
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ << '{';
+  stack_.push_back(Frame{});
+}
+
+void JsonWriter::end_object() {
+  stack_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ << '[';
+  stack_.push_back(Frame{/*array=*/true});
+}
+
+void JsonWriter::end_array() {
+  stack_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  Frame& top = stack_.back();
+  if (!top.first) out_ << ',';
+  top.first = false;
+  out_ << '"';
+  write_escaped(name);
+  out_ << "\":";
+  top.key_pending = true;
+}
+
+std::string JsonWriter::format_number(double v) {
+  if (!std::isfinite(v)) {
+    throw NonFiniteJsonError("telemetry JSON export rejects non-finite value");
+  }
+  char buf[40];
+  // Integral values (the common case: counters read through probes) are
+  // written without an exponent so they parse as JSON integers.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+void JsonWriter::value(double v) {
+  const std::string text = format_number(v);  // throws before any output
+  separate();
+  out_ << text;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(std::string_view v) {
+  separate();
+  out_ << '"';
+  write_escaped(v);
+  out_ << '"';
+}
+
+void JsonWriter::null() {
+  separate();
+  out_ << "null";
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+}
+
+}  // namespace mhrp::telemetry

@@ -1,0 +1,241 @@
+#include "telemetry/metric_registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/json_writer.hpp"
+
+namespace mhrp::telemetry {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+    case MetricKind::kProbe:
+      return "probe";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(std::string(name),
+                      Instrument{MetricKind::kCounter, Counter{}})
+             .first;
+  } else if (it->second.kind != MetricKind::kCounter) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  return std::get<Counter>(it->second.storage);
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(std::string(name), Instrument{MetricKind::kGauge, Gauge{}})
+             .first;
+  } else if (it->second.kind != MetricKind::kGauge) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  return std::get<Gauge>(it->second.storage);
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(std::string(name),
+                      Instrument{MetricKind::kHistogram, Histogram{}})
+             .first;
+  } else if (it->second.kind != MetricKind::kHistogram) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  return std::get<Histogram>(it->second.storage);
+}
+
+void MetricRegistry::probe(std::string_view name, Probe fn) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    entries_.emplace(std::string(name),
+                     Instrument{MetricKind::kProbe, std::move(fn)});
+    return;
+  }
+  if (it->second.kind != MetricKind::kProbe) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  it->second.storage = std::move(fn);
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(entries_.size());
+  for (const auto& [name, instrument] : entries_) {
+    MetricsSnapshot::Entry entry;
+    entry.name = name;
+    entry.kind = instrument.kind;
+    switch (instrument.kind) {
+      case MetricKind::kCounter:
+        entry.value = std::get<Counter>(instrument.storage).value();
+        break;
+      case MetricKind::kGauge:
+        entry.value = std::get<Gauge>(instrument.storage).value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = std::get<Histogram>(instrument.storage);
+        MetricsSnapshot::HistogramStats stats;
+        stats.count = h.count();
+        stats.sum = h.sum();
+        stats.min = h.min();
+        stats.max = h.max();
+        stats.mean = h.mean();
+        stats.p50 = h.quantile(0.50);
+        stats.p90 = h.quantile(0.90);
+        stats.p99 = h.quantile(0.99);
+        entry.value = stats;
+        break;
+      }
+      case MetricKind::kProbe:
+        entry.value = std::get<Probe>(instrument.storage)();
+        break;
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  return snap;  // std::map iteration order is already name-sorted
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream out;
+  for (const Entry& e : entries) {
+    out << e.name << ' ' << kind_name(e.kind) << ' ';
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out << std::get<std::uint64_t>(e.value);
+        break;
+      case MetricKind::kGauge:
+      case MetricKind::kProbe:
+        out << JsonWriter::format_number(std::get<double>(e.value));
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = std::get<HistogramStats>(e.value);
+        out << "count=" << h.count
+            << " sum=" << JsonWriter::format_number(h.sum)
+            << " min=" << JsonWriter::format_number(h.min)
+            << " max=" << JsonWriter::format_number(h.max)
+            << " mean=" << JsonWriter::format_number(h.mean)
+            << " p50=" << JsonWriter::format_number(h.p50)
+            << " p90=" << JsonWriter::format_number(h.p90)
+            << " p99=" << JsonWriter::format_number(h.p99);
+        break;
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void MetricsSnapshot::write_json(JsonWriter& json) const {
+  json.begin_object();
+  for (const Entry& e : entries) {
+    json.key(e.name);
+    json.begin_object();
+    json.key("kind");
+    json.value(kind_name(e.kind));
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        json.key("value");
+        json.value(std::get<std::uint64_t>(e.value));
+        break;
+      case MetricKind::kGauge:
+      case MetricKind::kProbe:
+        json.key("value");
+        json.value(std::get<double>(e.value));
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = std::get<HistogramStats>(e.value);
+        json.key("count");
+        json.value(h.count);
+        json.key("sum");
+        json.value(h.sum);
+        json.key("min");
+        json.value(h.min);
+        json.key("max");
+        json.value(h.max);
+        json.key("mean");
+        json.value(h.mean);
+        json.key("p50");
+        json.value(h.p50);
+        json.key("p90");
+        json.value(h.p90);
+        json.key("p99");
+        json.value(h.p99);
+        break;
+      }
+    }
+    json.end_object();
+  }
+  json.end_object();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("schema");
+  json.value("mhrp.metrics.v1");
+  json.key("metrics");
+  write_json(json);
+  json.end_object();
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream out;
+  out << "name,kind,field,value\n";
+  const auto row = [&out](const std::string& name, MetricKind kind,
+                          const char* field, const std::string& value) {
+    out << name << ',' << kind_name(kind) << ',' << field << ',' << value
+        << '\n';
+  };
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        row(e.name, e.kind, "value",
+            std::to_string(std::get<std::uint64_t>(e.value)));
+        break;
+      case MetricKind::kGauge:
+      case MetricKind::kProbe:
+        row(e.name, e.kind, "value",
+            JsonWriter::format_number(std::get<double>(e.value)));
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = std::get<HistogramStats>(e.value);
+        row(e.name, e.kind, "count", std::to_string(h.count));
+        row(e.name, e.kind, "sum", JsonWriter::format_number(h.sum));
+        row(e.name, e.kind, "min", JsonWriter::format_number(h.min));
+        row(e.name, e.kind, "max", JsonWriter::format_number(h.max));
+        row(e.name, e.kind, "mean", JsonWriter::format_number(h.mean));
+        row(e.name, e.kind, "p50", JsonWriter::format_number(h.p50));
+        row(e.name, e.kind, "p90", JsonWriter::format_number(h.p90));
+        row(e.name, e.kind, "p99", JsonWriter::format_number(h.p99));
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mhrp::telemetry

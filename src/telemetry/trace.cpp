@@ -1,0 +1,115 @@
+#include "telemetry/trace.hpp"
+
+#include <sstream>
+
+#include "telemetry/json_writer.hpp"
+
+namespace mhrp::telemetry {
+
+namespace {
+
+const char* category_name(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::kPacket:
+      return "packet";
+    case TraceCategory::kProtocol:
+      return "protocol";
+    case TraceCategory::kStore:
+      return "store";
+    case TraceCategory::kFault:
+      return "fault";
+    case TraceCategory::kCount:
+      break;
+  }
+  return "other";
+}
+
+const char* track_name(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::kPacket:
+      return "packet path";
+    case TraceCategory::kProtocol:
+      return "protocol phases";
+    case TraceCategory::kStore:
+      return "home-agent store";
+    case TraceCategory::kFault:
+      return "fault plane";
+    case TraceCategory::kCount:
+      break;
+  }
+  return "other";
+}
+
+}  // namespace
+
+void TraceCollector::write_chrome_json(std::ostream& out) const {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("displayTimeUnit");
+  json.value("ms");
+  json.key("traceEvents");
+  json.begin_array();
+  // Thread-name metadata events so each category renders as a named track.
+  for (std::uint8_t c = 0;
+       c < static_cast<std::uint8_t>(TraceCategory::kCount); ++c) {
+    json.begin_object();
+    json.key("name");
+    json.value("thread_name");
+    json.key("ph");
+    json.value("M");
+    json.key("pid");
+    json.value(1);
+    json.key("tid");
+    json.value(static_cast<std::int64_t>(c) + 1);
+    json.key("args");
+    json.begin_object();
+    json.key("name");
+    json.value(track_name(static_cast<TraceCategory>(c)));
+    json.end_object();
+    json.end_object();
+  }
+  for (const Event& e : events_) {
+    json.begin_object();
+    json.key("name");
+    json.value(e.name);
+    json.key("cat");
+    json.value(category_name(e.cat));
+    json.key("ph");
+    json.value(std::string_view(&e.phase, 1));
+    json.key("ts");
+    json.value(e.ts_us);
+    if (e.phase == 'X') {
+      json.key("dur");
+      json.value(e.dur_us < 0 ? std::int64_t{0} : e.dur_us);
+    } else {
+      json.key("s");
+      json.value("t");  // thread-scoped instant
+    }
+    json.key("pid");
+    json.value(1);
+    json.key("tid");
+    json.value(static_cast<std::int64_t>(e.cat) + 1);
+    if (e.key0 != nullptr) {
+      json.key("args");
+      json.begin_object();
+      json.key(e.key0);
+      json.value(e.arg0);
+      if (e.key1 != nullptr) {
+        json.key(e.key1);
+        json.value(e.arg1);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string TraceCollector::chrome_json() const {
+  std::ostringstream out;
+  write_chrome_json(out);
+  return out.str();
+}
+
+}  // namespace mhrp::telemetry

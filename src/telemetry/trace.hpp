@@ -1,0 +1,152 @@
+// TraceCollector: buffers per-packet path records and protocol-phase spans
+// and writes them as Chrome-tracing JSON (chrome://tracing, Perfetto's
+// legacy JSON importer). Timestamps are simulated microseconds — sim::Time
+// is already microseconds, so event `ts` fields are sim times verbatim and
+// a trace of a deterministic run is itself deterministic.
+//
+// Cost model: recording is an enabled check, a sampling decrement, and a
+// push_back of a POD event (names and arg keys must be string literals —
+// nothing is copied or allocated per event beyond vector growth). When the
+// collector is absent, instrumentation sites are a single null-pointer
+// check. A hard event cap bounds memory on full-rate ScaleWorld runs;
+// events past the cap are counted in dropped() instead of recorded.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mhrp::telemetry {
+
+/// One synthetic "thread" per category in the exported trace, so Perfetto
+/// lays out packet, protocol, store, and fault activity on separate tracks.
+enum class TraceCategory : std::uint8_t {
+  kPacket = 0,
+  kProtocol,
+  kStore,
+  kFault,
+  kCount,
+};
+
+class TraceCollector {
+ public:
+  struct Options {
+    /// Record every Nth packet-level event (1 = record all). Protocol,
+    /// store, and fault events are never sampled out — they are rare and
+    /// are what the phase-timing analysis needs.
+    std::uint64_t sample_every = 1;
+    /// Hard cap on buffered events; further events are dropped (counted).
+    std::size_t max_events = 1u << 20;
+  };
+
+  TraceCollector() = default;
+  explicit TraceCollector(Options options) : options_(options) {
+    if (options_.sample_every == 0) options_.sample_every = 1;
+  }
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Instant event ("i" phase). `name` and arg keys MUST be string
+  /// literals (or otherwise outlive the collector). Packet-category
+  /// instants are subject to sampling.
+  void instant(TraceCategory cat, const char* name, std::int64_t ts_us) {
+    if (!should_record(cat)) return;
+    push(Event{name, nullptr, nullptr, 0.0, 0.0, ts_us, -1, cat, 'i'});
+  }
+
+  void instant(TraceCategory cat, const char* name, std::int64_t ts_us,
+               const char* key0, double arg0) {
+    if (!should_record(cat)) return;
+    push(Event{name, key0, nullptr, arg0, 0.0, ts_us, -1, cat, 'i'});
+  }
+
+  void instant(TraceCategory cat, const char* name, std::int64_t ts_us,
+               const char* key0, double arg0, const char* key1, double arg1) {
+    if (!should_record(cat)) return;
+    push(Event{name, key0, key1, arg0, arg1, ts_us, -1, cat, 'i'});
+  }
+
+  /// Complete span ("X" phase) from start_us to end_us. Never sampled.
+  void span(TraceCategory cat, const char* name, std::int64_t start_us,
+            std::int64_t end_us) {
+    if (!enabled_) return;
+    push(Event{name, nullptr, nullptr, 0.0, 0.0, start_us,
+               end_us - start_us, cat, 'X'});
+  }
+
+  void span(TraceCategory cat, const char* name, std::int64_t start_us,
+            std::int64_t end_us, const char* key0, double arg0) {
+    if (!enabled_) return;
+    push(Event{name, key0, nullptr, arg0, 0.0, start_us, end_us - start_us,
+               cat, 'X'});
+  }
+
+  void span(TraceCategory cat, const char* name, std::int64_t start_us,
+            std::int64_t end_us, const char* key0, double arg0,
+            const char* key1, double arg1) {
+    if (!enabled_) return;
+    push(Event{name, key0, key1, arg0, arg1, start_us, end_us - start_us,
+               cat, 'X'});
+  }
+
+  [[nodiscard]] std::size_t recorded() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t sampled_out() const { return sampled_out_; }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+    sampled_out_ = 0;
+    sample_tick_ = 0;
+  }
+
+  /// Write the buffered events as a Chrome-tracing JSON document.
+  void write_chrome_json(std::ostream& out) const;
+  [[nodiscard]] std::string chrome_json() const;
+
+ private:
+  struct Event {
+    const char* name;
+    const char* key0;  // nullptr = no args
+    const char* key1;  // nullptr = single arg
+    double arg0;
+    double arg1;
+    std::int64_t ts_us;
+    std::int64_t dur_us;  // <0 for instants
+    TraceCategory cat;
+    char phase;
+  };
+
+  [[nodiscard]] bool should_record(TraceCategory cat) {
+    if (!enabled_) return false;
+    if (cat == TraceCategory::kPacket && options_.sample_every > 1) {
+      if (++sample_tick_ % options_.sample_every != 0) {
+        ++sampled_out_;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void push(const Event& e) {
+    if (events_.size() >= options_.max_events) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(e);
+  }
+
+  Options options_{};
+  bool enabled_ = true;
+  std::uint64_t sample_tick_ = 0;
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace mhrp::telemetry

@@ -277,5 +277,37 @@ TEST(RateLimiter, LruBoundedCapacity) {
   EXPECT_TRUE(limiter.allow(ip("10.0.0.1"), 3));
 }
 
+TEST(RateLimiter, EvictionFollowsRecencyNotInsertionOrder) {
+  // At capacity, the evicted entry must be the LEAST RECENTLY USED — a
+  // successful re-send refreshes recency, so insertion order alone must
+  // not decide who gets dropped.
+  UpdateRateLimiter limiter(sim::seconds(1), 2);
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.1"), 0));
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.2"), sim::millis(1)));
+  // Refresh .1 after its interval: now .2 is the LRU entry.
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.1"), sim::seconds(2)));
+  // Inserting .3 at capacity evicts .2, not the older-inserted .1.
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.3"), sim::seconds(2)));
+  EXPECT_EQ(limiter.size(), 2u);
+  // .1 survived with its refreshed timestamp: still suppressed.
+  EXPECT_FALSE(limiter.allow(ip("10.0.0.1"), sim::seconds(2) + 1));
+  // .2's history is gone: allowed again immediately despite the interval.
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.2"), sim::seconds(2) + 2));
+}
+
+TEST(RateLimiter, SuppressedLookupDoesNotRefreshRecency) {
+  // A suppressed attempt is not a send; it must not promote the entry
+  // ahead of destinations that actually sent more recently.
+  UpdateRateLimiter limiter(sim::seconds(10), 2);
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.1"), 0));
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.2"), 1));
+  EXPECT_FALSE(limiter.allow(ip("10.0.0.1"), 2));  // suppressed, no refresh
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.3"), 3));   // evicts .1 (LRU send)
+  // .2 survived the eviction: still suppressed inside its interval.
+  EXPECT_FALSE(limiter.allow(ip("10.0.0.2"), 4));
+  // .1's history is gone: allowed again despite the 10s interval.
+  EXPECT_TRUE(limiter.allow(ip("10.0.0.1"), 5));
+}
+
 }  // namespace
 }  // namespace mhrp::core

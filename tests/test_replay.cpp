@@ -21,35 +21,6 @@
 namespace mhrp::scenario {
 namespace {
 
-void append_agent_stats(std::ostringstream& out, const std::string& tag,
-                        core::MhrpAgent& agent) {
-  const core::AgentStats& s = agent.stats();
-  out << tag << " reg=" << s.registrations
-      << " intercepted=" << s.intercepted_home
-      << " tunnels=" << s.tunnels_built << " retunnels=" << s.retunnels
-      << " to_home=" << s.tunneled_to_home
-      << " delivered=" << s.delivered_to_visitor
-      << " upd_tx=" << s.updates_sent << " upd_rx=" << s.updates_received
-      << " loops=" << s.loops_detected << " overflows=" << s.list_overflows
-      << " examined=" << s.packets_examined
-      << " err_rev=" << s.errors_reversed
-      << " err_term=" << s.errors_terminated
-      << " cache=" << agent.cache().size() << "\n";
-}
-
-std::string mhrp_world_digest(MhrpWorld& world) {
-  std::ostringstream out;
-  out << topology_digest(world.topo);
-  append_agent_stats(out, "ha", *world.ha);
-  for (std::size_t i = 0; i < world.fas.size(); ++i) {
-    append_agent_stats(out, "fa" + std::to_string(i), *world.fas[i]);
-  }
-  for (std::size_t i = 0; i < world.corr_agents.size(); ++i) {
-    append_agent_stats(out, "ca" + std::to_string(i), *world.corr_agents[i]);
-  }
-  return out.str();
-}
-
 struct MhrpReplayResult {
   std::string digest;
   std::string audit;
@@ -78,7 +49,7 @@ MhrpReplayResult run_scripted_mhrp(std::uint64_t seed) {
   }
   world.topo.sim().run_for(sim::seconds(5));  // drain trailing updates
 
-  result.digest = mhrp_world_digest(world);
+  result.digest = world.metrics_digest();
   result.audit = auditor.report().to_string();
   EXPECT_TRUE(auditor.report().clean()) << result.audit;
   return result;
@@ -102,7 +73,7 @@ TEST(Replay, MhrpWorldDigestReflectsActivity) {
   MhrpWorld idle(opt);
   idle.topo.sim().run_for(sim::seconds(1));
   MhrpReplayResult toured = run_scripted_mhrp(42);
-  EXPECT_NE(mhrp_world_digest(idle), toured.digest);
+  EXPECT_NE(idle.metrics_digest(), toured.digest);
 }
 
 ScaleWorldOptions scale_options(std::uint64_t seed, int routers) {
@@ -155,6 +126,25 @@ TEST(Replay, ScaleWorldTreeBackboneReplays) {
   ScaleReplayResult second = run_scale(opt, sim::seconds(5));
   EXPECT_EQ(first.digest, second.digest);
   EXPECT_GT(first.stats.packets_delivered, 0u);
+}
+
+TEST(Replay, TelemetryCollectionDoesNotPerturbDigest) {
+  // The whole telemetry design rests on this: turning on the trace
+  // collector and the event-loop profiler must not change one byte of
+  // the replay digest. The registry holds only protocol-observable
+  // values, traces record without being consulted, and the profiler
+  // measures wall time outside the digest.
+  ScaleWorldOptions off = scale_options(7, 36);
+  ScaleWorldOptions on = scale_options(7, 36);
+  on.telemetry.trace = true;
+  on.telemetry.profiler = true;
+  ScaleReplayResult plain = run_scale(off, sim::seconds(10));
+  ScaleReplayResult instrumented = run_scale(on, sim::seconds(10));
+  ASSERT_FALSE(plain.digest.empty());
+  EXPECT_EQ(plain.digest, instrumented.digest);
+  EXPECT_EQ(plain.stats.events_executed, instrumented.stats.events_executed);
+  EXPECT_EQ(plain.stats.packets_delivered,
+            instrumented.stats.packets_delivered);
 }
 
 TEST(Replay, ScaleWorldDifferentSeedsDiverge) {

@@ -4,10 +4,13 @@
 // trusts.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "net/udp.hpp"
 #include "scenario/metrics.hpp"
 #include "scenario/mhrp_world.hpp"
 #include "scenario/topology.hpp"
+#include "scenario/tracer.hpp"
 #include "scenario/workload.hpp"
 
 namespace mhrp {
@@ -280,6 +283,42 @@ TEST(Metrics, DistributionTracksMinMeanMax) {
   EXPECT_DOUBLE_EQ(d.mean(), 5.0);
 }
 
+TEST(Metrics, EmptyDistributionReportsZeros) {
+  // Regression: min/max used to start at +/-inf, which leaked into
+  // digests and broke strict JSON exports for flows with no samples.
+  scenario::Distribution d;
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.min, 0.0);
+  EXPECT_EQ(d.max, 0.0);
+  EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Metrics, DistributionFirstSampleSetsBothExtremes) {
+  scenario::Distribution d;
+  d.add(-3.5);
+  EXPECT_EQ(d.min, -3.5);
+  EXPECT_EQ(d.max, -3.5);
+}
+
+TEST(Metrics, SummarizeMatchesPercentileOnUnsortedInput) {
+  // The single-sort fast path must agree with the public percentile()
+  // (which sorts a copy) on unsorted input.
+  const std::vector<double> raw = {9.0, 1.0, 4.0, 7.5, 2.0, 8.0, 3.0};
+  const scenario::PercentileSummary s = scenario::summarize(raw);
+  EXPECT_EQ(s.count, raw.size());
+  EXPECT_DOUBLE_EQ(s.p50, scenario::percentile(raw, 50));
+  EXPECT_DOUBLE_EQ(s.p90, scenario::percentile(raw, 90));
+  EXPECT_DOUBLE_EQ(s.p99, scenario::percentile(raw, 99));
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Metrics, SummarizeEmptyIsAllZeros) {
+  const scenario::PercentileSummary s = scenario::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
 TEST(Metrics, RecorderFiltersMulticastByDefault) {
   scenario::MhrpWorldOptions options;
   scenario::MhrpWorld w(options);
@@ -292,6 +331,79 @@ TEST(Metrics, RecorderFiltersMulticastByDefault) {
   }
   // The only unicast deliveries so far are the registration acks.
   EXPECT_LE(recorder.total().received, 4u);
+}
+
+// Two hosts on one LAN; A sends one UDP datagram to B's bound port.
+struct HookWorld {
+  Topology topo;
+  node::Host* a;
+  node::Host* b;
+
+  HookWorld() {
+    auto& lan = topo.add_link("lan", sim::millis(1));
+    a = &topo.add_host("A");
+    b = &topo.add_host("B");
+    topo.connect(*a, lan, ip("10.0.0.1"), 24);
+    topo.connect(*b, lan, ip("10.0.0.2"), 24);
+    topo.install_static_routes();
+    b->bind_udp(7, [](const net::UdpDatagram&, const net::IpHeader&,
+                      net::Interface&) {});
+  }
+
+  void send_one() {
+    static constexpr unsigned char payload[] = {1, 2, 3};
+    a->send_udp(ip("10.0.0.2"), 40001, 7, payload);
+    topo.sim().run_for(sim::seconds(1));
+  }
+};
+
+TEST(HookChaining, RecorderThenTracerBothObserve) {
+  HookWorld w;
+  scenario::FlowRecorder recorder(*w.b);
+  std::ostringstream sink;
+  scenario::Tracer tracer(w.topo, &sink);
+  w.send_one();
+  EXPECT_GE(recorder.total().received, 1u);
+  EXPECT_GT(tracer.events(), 0u);
+}
+
+TEST(HookChaining, TracerThenRecorderBothObserve) {
+  // Regression: FlowRecorder used to overwrite on_deliver_hook, silently
+  // disconnecting a Tracer attached first. Both observers must see the
+  // delivery regardless of attachment order.
+  HookWorld w;
+  std::ostringstream sink;
+  scenario::Tracer tracer(w.topo, &sink);
+  scenario::FlowRecorder recorder(*w.b);
+  w.send_one();
+  EXPECT_GE(recorder.total().received, 1u);
+  EXPECT_GT(tracer.events(), 0u);
+  EXPECT_NE(sink.str().find("recv"), std::string::npos);
+}
+
+TEST(HookChaining, TracerCoversNodesAddedAfterConstruction) {
+  // Regression: the tracer only attached to nodes present at
+  // construction — a node added afterwards was silently untraced.
+  Topology topo;
+  auto& lan = topo.add_link("lan", sim::millis(1));
+  auto& a = topo.add_host("A");
+  topo.connect(a, lan, ip("10.0.0.1"), 24);
+
+  std::ostringstream sink;
+  scenario::Tracer tracer(topo, &sink);  // B does not exist yet
+
+  auto& b = topo.add_host("B");
+  topo.connect(b, lan, ip("10.0.0.2"), 24);
+  topo.install_static_routes();
+  b.bind_udp(7, [](const net::UdpDatagram&, const net::IpHeader&,
+                   net::Interface&) {});
+  static constexpr unsigned char payload[] = {1, 2, 3};
+  a.send_udp(ip("10.0.0.2"), 40001, 7, payload);
+  topo.sim().run_for(sim::seconds(1));
+
+  EXPECT_GT(tracer.events(), 0u);
+  EXPECT_NE(sink.str().find("recv"), std::string::npos);
+  EXPECT_NE(sink.str().find("B"), std::string::npos);
 }
 
 TEST(MhrpWorldHarness, HelpersReportConsistentState) {

@@ -27,8 +27,8 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.schedule(10, [&] { order.push_back(1); });
   q.schedule(20, [&] { order.push_back(2); });
   while (!q.empty()) {
-    auto [when, action] = q.pop();
-    action();
+    auto fired = q.pop();
+    fired.action();
   }
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -39,7 +39,7 @@ TEST(EventQueue, TiesBreakFifoBySchedulingOrder) {
   for (int i = 0; i < 10; ++i) {
     q.schedule(5, [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().action();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
 }
 
@@ -62,7 +62,7 @@ TEST(EventQueue, SizeTracksLiveEventsOnly) {
   EXPECT_EQ(q.size(), 2u);
   q.cancel(a);
   EXPECT_EQ(q.size(), 1u);
-  q.pop().second();
+  q.pop().action();
   EXPECT_EQ(q.size(), 0u);
   (void)b;
 }
@@ -70,7 +70,7 @@ TEST(EventQueue, SizeTracksLiveEventsOnly) {
 TEST(EventQueue, CancelAfterFireReturnsFalse) {
   EventQueue q;
   auto handle = q.schedule(10, [] {});
-  q.pop().second();
+  q.pop().action();
   EXPECT_FALSE(handle.pending());
   EXPECT_FALSE(q.cancel(handle));
 }
@@ -112,7 +112,7 @@ TEST(EventQueue, PendingSurvivesHeapOfStaleEntries) {
   auto live = q.schedule(7, [&] { ++fired; });
   EXPECT_TRUE(live.pending());
   EXPECT_EQ(q.size(), 1u);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().action();
   EXPECT_EQ(fired, 1);
   EXPECT_FALSE(live.pending());
 }
@@ -125,7 +125,7 @@ TEST(EventQueue, GenerationWraparound) {
 
   auto old_gen = q.schedule(10, [] {});  // generation 0xFFFFFFFF
   EXPECT_TRUE(old_gen.pending());
-  q.pop().second();  // fires; generation wraps to 0
+  q.pop().action();  // fires; generation wraps to 0
   EXPECT_FALSE(old_gen.pending());
 
   auto wrapped = q.schedule(20, [] {});  // same slot, generation 0
@@ -140,7 +140,7 @@ TEST(EventQueue, CancelSelfInsideFiringActionReturnsFalse) {
   EventHandle self;
   bool cancel_result = true;
   self = q.schedule(10, [&] { cancel_result = q.cancel(self); });
-  q.pop().second();
+  q.pop().action();
   EXPECT_FALSE(cancel_result);  // the firing event is no longer pending
   EXPECT_TRUE(q.empty());
 }
@@ -151,7 +151,7 @@ TEST(EventQueue, CancelPeerInsideFiringActionPreventsIt) {
   EventHandle peer;
   q.schedule(10, [&] { EXPECT_TRUE(q.cancel(peer)); });
   peer = q.schedule(10, [&] { peer_ran = true; });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().action();
   EXPECT_FALSE(peer_ran);
 }
 
@@ -163,7 +163,7 @@ TEST(EventQueue, FifoSurvivesInterleavedCancellation) {
     handles.push_back(q.schedule(5, [&order, i] { order.push_back(i); }));
   }
   for (int i = 0; i < 12; i += 2) q.cancel(handles[std::size_t(i)]);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().action();
   EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9, 11}));
 }
 

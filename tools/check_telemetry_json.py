@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Strict validator for the telemetry exports CI uploads.
+
+Usage: check_telemetry_json.py METRICS_JSON TRACE_JSON
+
+Fails (exit 1) if either file is not strict JSON (any NaN/Infinity
+literal is rejected outright), if schema keys are missing, or if the
+trace is not loadable Chrome-tracing JSON (chrome://tracing, Perfetto's
+legacy importer): a traceEvents list of named events with numeric
+timestamps, complete spans carrying non-negative durations, and the
+per-category thread_name metadata the track layout relies on.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_strict(path):
+    def reject(literal):
+        fail(f"{path}: non-finite literal {literal!r} in JSON")
+
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            return json.load(f, parse_constant=reject)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+
+
+def check_metrics(path):
+    doc = load_strict(path)
+    for key in ("schema", "params", "now_us", "events_executed", "metrics"):
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    if doc["schema"] != "mhrp.scaleworld.metrics.v1":
+        fail(f"{path}: unexpected schema {doc['schema']!r}")
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        fail(f"{path}: 'metrics' must be a non-empty object")
+    for name, entry in metrics.items():
+        if "kind" not in entry:
+            fail(f"{path}: metric {name!r} has no 'kind'")
+        if entry["kind"] == "histogram":
+            for field in ("count", "sum", "min", "max", "mean", "p50",
+                          "p90", "p99"):
+                if field not in entry:
+                    fail(f"{path}: histogram {name!r} missing {field!r}")
+        elif "value" not in entry:
+            fail(f"{path}: metric {name!r} has no 'value'")
+    for expected in ("ha.registrations", "mobiles.moves",
+                     "handoff.latency_s"):
+        if expected not in metrics:
+            fail(f"{path}: expected instrument {expected!r} not exported")
+    print(f"ok: {path} ({len(metrics)} instruments)")
+
+
+def check_trace(path):
+    doc = load_strict(path)
+    if "displayTimeUnit" not in doc:
+        fail(f"{path}: missing key 'displayTimeUnit'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: 'traceEvents' must be a non-empty list")
+    phases = set()
+    thread_names = 0
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event {i} missing {key!r}")
+        ph = e["ph"]
+        phases.add(ph)
+        if ph == "M":
+            thread_names += 1
+            continue
+        if ph not in ("X", "i"):
+            fail(f"{path}: event {i} has unexpected phase {ph!r}")
+        if not isinstance(e.get("ts"), (int, float)):
+            fail(f"{path}: event {i} has no numeric 'ts'")
+        if ph == "X" and e.get("dur", -1) < 0:
+            fail(f"{path}: span {i} ({e['name']!r}) has negative duration")
+    if thread_names == 0:
+        fail(f"{path}: no thread_name metadata (category tracks missing)")
+    if "X" not in phases:
+        fail(f"{path}: no complete spans recorded")
+    print(f"ok: {path} ({len(events)} events, phases {sorted(phases)})")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    check_metrics(sys.argv[1])
+    check_trace(sys.argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
