@@ -143,7 +143,7 @@ void schedule_pop_loop(benchmark::State& state) {
   sim::Time t = 0;
   for (auto _ : state) {
     for (int i = 0; i < 16; ++i) {
-      q.schedule(t + (i * 7919) % 100, [] {});
+      (void)q.schedule(t + (i * 7919) % 100, [] {});
     }
     while (!q.empty()) {
       benchmark::DoNotOptimize(q.pop());

@@ -80,7 +80,7 @@ WalPoint run_wal_point(store::SyncPolicy policy, std::uint64_t records) {
     r.mobile_host = net::IpAddress(0x0A010064u + std::uint32_t(i % 64));
     r.foreign_agent = net::IpAddress(0x0A020001u + std::uint32_t(i % 7));
     r.sequence = std::uint32_t(i);
-    wal.append(r);
+    (void)wal.append(r);
     const bool commit =
         policy == store::SyncPolicy::kSync ||
         (policy == store::SyncPolicy::kInterval && (i + 1) % group == 0);

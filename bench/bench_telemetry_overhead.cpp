@@ -126,7 +126,7 @@ void run_event_loop_bench(benchmark::State& state, bool profiled) {
   constexpr int kBatch = 64;
   for (auto _ : state) {
     for (int i = 0; i < kBatch; ++i) {
-      sim.after(i, [] {}, mhrp::sim::EventCategory::kLinkDelivery);
+      (void)sim.after(i, [] {}, mhrp::sim::EventCategory::kLinkDelivery);
     }
     benchmark::DoNotOptimize(sim.run());
   }
@@ -154,7 +154,7 @@ void BM_EventLoop_RawQueueDrain(benchmark::State& state) {
   constexpr int kBatch = 64;
   for (auto _ : state) {
     for (int i = 0; i < kBatch; ++i) {
-      q.schedule(t + i, [] {}, mhrp::sim::EventCategory::kLinkDelivery);
+      (void)q.schedule(t + i, [] {}, mhrp::sim::EventCategory::kLinkDelivery);
     }
     while (!q.empty()) {
       auto fired = q.pop();

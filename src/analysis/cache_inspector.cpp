@@ -1,6 +1,9 @@
 #include "analysis/cache_inspector.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace mhrp::analysis {
 
@@ -14,13 +17,21 @@ CacheInspector::Findings CacheInspector::check(
     detail << "LRU list holds " << cache.lru_.size() << " entries but map holds "
            << cache.map_.size() << "; ";
   }
+  // The map is unordered: collect mismatches and report them in address
+  // order so the audit text is byte-identical regardless of insert order
+  // (replay digests fold this string in).
+  std::vector<std::pair<net::IpAddress, net::IpAddress>> crossed;
+  // mhrp-lint: allow(unordered-iter) collect-then-sort; emission is ordered
   for (const auto& [address, node] : cache.map_) {
     if (node->mobile_host != address) {
-      f.coherent = false;
-      detail << "map slot for " << address.to_string()
-             << " points at LRU node for " << node->mobile_host.to_string()
-             << "; ";
+      crossed.emplace_back(address, node->mobile_host);
     }
+  }
+  std::sort(crossed.begin(), crossed.end());
+  for (const auto& [address, pointee] : crossed) {
+    f.coherent = false;
+    detail << "map slot for " << address.to_string()
+           << " points at LRU node for " << pointee.to_string() << "; ";
   }
   if (cache.capacity_ != 0 && cache.map_.size() > cache.capacity_) {
     f.within_capacity = false;
@@ -35,6 +46,14 @@ void CacheInspector::corrupt_with_orphan_entry_for_test(
     core::LocationCache& cache) {
   cache.lru_.emplace_back(core::LocationCache::Entry{
       net::IpAddress::of(203, 0, 113, 113), net::IpAddress::of(203, 0, 113, 1)});
+}
+
+void CacheInspector::corrupt_with_crossed_links_for_test(
+    core::LocationCache& cache, net::IpAddress a, net::IpAddress b) {
+  auto ia = cache.map_.find(a);
+  auto ib = cache.map_.find(b);
+  if (ia == cache.map_.end() || ib == cache.map_.end()) return;
+  std::swap(ia->second, ib->second);
 }
 
 }  // namespace mhrp::analysis

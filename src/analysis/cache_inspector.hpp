@@ -24,6 +24,14 @@ class CacheInspector {
   /// Test-only: break the list ↔ map bijection by appending an LRU node
   /// with no map entry, so auditor tests can prove corruption is seen.
   static void corrupt_with_orphan_entry_for_test(core::LocationCache& cache);
+
+  /// Test-only: swap the LRU links of two resident entries, producing two
+  /// map→node mismatches; determinism tests use this to pin the audit
+  /// text across different map insertion orders. No-op unless both
+  /// addresses are resident.
+  static void corrupt_with_crossed_links_for_test(core::LocationCache& cache,
+                                                  net::IpAddress a,
+                                                  net::IpAddress b);
 };
 
 }  // namespace mhrp::analysis

@@ -89,7 +89,8 @@ class Msr {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  node::Intercept on_forward(net::Packet& packet, net::Interface& in);
+  [[nodiscard]] node::Intercept on_forward(net::Packet& packet,
+                                           net::Interface& in);
   void on_ipip(net::Packet& packet, net::Interface& in);
   void on_udp(const net::UdpDatagram& datagram, const net::IpHeader& header);
   void tunnel_to(net::IpAddress target_msr, net::Packet inner);

@@ -73,7 +73,8 @@ class Pfs {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  node::Intercept on_forward(net::Packet& packet, net::Interface& in);
+  [[nodiscard]] node::Intercept on_forward(net::Packet& packet,
+                                           net::Interface& in);
   void on_udp(const net::UdpDatagram& datagram, const net::IpHeader& header);
 
   node::Node& node_;

@@ -95,7 +95,8 @@ class VipRouter {
     std::uint32_t version = 0;
   };
 
-  node::Intercept on_forward(net::Packet& packet, net::Interface& in);
+  [[nodiscard]] node::Intercept on_forward(net::Packet& packet,
+                                           net::Interface& in);
   void on_control(const net::UdpDatagram& datagram,
                   const net::IpHeader& header);
 

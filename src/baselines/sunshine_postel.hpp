@@ -74,7 +74,8 @@ class SpForwarder {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  node::Intercept on_local(net::Packet& packet, net::Interface& in);
+  [[nodiscard]] node::Intercept on_local(net::Packet& packet,
+                                         net::Interface& in);
 
   node::Node& node_;
   net::Interface& local_iface_;

@@ -504,7 +504,7 @@ void MhrpAgent::handle_location_update(const net::IcmpLocationUpdate& update) {
         query.sender_ip = iface->ip();
         query.target_ip = update.mobile_host;
         iface->send(net::Frame{iface->mac(), net::kMacBroadcast, query});
-        node_.sim().after(sim::millis(300), [this, iface,
+        (void)node_.sim().after(sim::millis(300), [this, iface,
                                              mh = update.mobile_host] {
           if (node_.arp_table(*iface).lookup(mh).has_value() &&
               !visiting_.contains(mh)) {

@@ -34,6 +34,7 @@
 #include "sim/timer.hpp"
 #include "store/home_store.hpp"
 #include "telemetry/trace.hpp"
+#include "util/annotations.hpp"
 
 namespace mhrp::core {
 
@@ -245,7 +246,8 @@ class MhrpAgent {
 
   // Node-stack hooks.
   void on_egress(net::Packet& packet);
-  node::Intercept on_forward(net::Packet& packet, net::Interface& in);
+  [[nodiscard]] MHRP_HOT_PATH node::Intercept on_forward(net::Packet& packet,
+                                                         net::Interface& in);
   void on_mhrp_packet(net::Packet& packet, net::Interface& in);
   bool on_icmp(const net::IcmpMessage& msg, const net::IpHeader& header,
                net::Interface& iface);
@@ -253,16 +255,16 @@ class MhrpAgent {
                        const net::IpHeader& header, net::Interface& iface);
 
   // Home-agent pieces.
-  node::Intercept home_intercept(net::Packet& packet);
+  [[nodiscard]] MHRP_HOT_PATH node::Intercept home_intercept(
+      net::Packet& packet);
   void home_handle_tunneled(net::Packet& packet);
   void set_home_binding(net::IpAddress mobile_host, net::IpAddress fa,
                         HomeRow& row);
   /// Log one mutation to the attached store (no-op without one). Returns
   /// the ticket deciding when the caller may ack.
-  store::HomeStore::Ticket log_mutation(store::WalRecord::Kind kind,
-                                        net::IpAddress mobile_host,
-                                        net::IpAddress foreign_agent,
-                                        std::uint32_t sequence);
+  [[nodiscard]] store::HomeStore::Ticket log_mutation(
+      store::WalRecord::Kind kind, net::IpAddress mobile_host,
+      net::IpAddress foreign_agent, std::uint32_t sequence);
   void release_pending_acks(store::Lsn durable);
   void restore_from_store();
 

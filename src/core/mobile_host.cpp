@@ -111,7 +111,7 @@ void MobileHost::disconnect_gracefully() {
     old_foreign_agent_ = net::kUnspecified;  // notified now
   }
   // Give the notifications (and retransmissions) a moment, then go dark.
-  sim().after(config_.registration_retry * config_.registration_attempts,
+  (void)sim().after(config_.registration_retry * config_.registration_attempts,
               [this] { detach(); });
 }
 

@@ -98,7 +98,7 @@ void FaultPlane::load(const FaultSchedule& schedule) {
       throw std::out_of_range("FaultPlane: schedule targets unregistered " +
                               std::string(is_link ? "link" : "node"));
     }
-    sim_.at(
+    (void)sim_.at(
         e.at, [this, e] { apply(e); }, sim::EventCategory::kFaultInjection);
   }
 }
@@ -111,7 +111,7 @@ void FaultPlane::apply(const FaultEvent& event) {
     inverse.kind = inverse_kind;
     inverse.at = sim_.now() + event.duration;
     inverse.duration = 0;
-    sim_.after(
+    (void)sim_.after(
         event.duration, [this, inverse] { apply(inverse); },
         sim::EventCategory::kFaultInjection);
   };
@@ -186,7 +186,7 @@ void FaultPlane::apply(const FaultEvent& event) {
         ++stats_.drop_windows_opened;
         const FaultKind kind = event.kind;
         const std::size_t target = event.target;
-        sim_.after(
+        (void)sim_.after(
             event.duration,
             [this, kind, target] {
               nodes_[target].drop_mask =

@@ -57,7 +57,7 @@ void Link::clear_impairments() {
   rng_ = nullptr;
 }
 
-sim::Time Link::delay_for(std::size_t frame_bytes) const {
+MHRP_HOT_PATH sim::Time Link::delay_for(std::size_t frame_bytes) const {
   sim::Time delay = latency_;
   if (bandwidth_bps_ > 0) {
     delay += static_cast<sim::Time>(frame_bytes * 8 * 1'000'000ull /
@@ -72,8 +72,9 @@ sim::Time Link::delay_for(std::size_t frame_bytes) const {
 // detached mid-flight (a radio that left the cell) must not hear it —
 // otherwise a mobile host could receive a stale agent advertisement from
 // the cell it just left and register with an unreachable agent.
-void Link::schedule_delivery(Interface* member, Frame frame, sim::Time delay) {
-  sim_.after(
+MHRP_HOT_PATH void Link::schedule_delivery(Interface* member, Frame frame,
+                                           sim::Time delay) {
+  (void)sim_.after(
       delay,
       [this, member, frame = std::move(frame)]() mutable {
         if (!up_) {
@@ -85,7 +86,7 @@ void Link::schedule_delivery(Interface* member, Frame frame, sim::Time delay) {
       sim::EventCategory::kLinkDelivery);
 }
 
-void Link::transmit(const Interface& from, Frame frame) {
+MHRP_HOT_PATH void Link::transmit(const Interface& from, Frame frame) {
   if (!up_) {
     ++frames_dropped_down_;
     return;

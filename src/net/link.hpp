@@ -12,6 +12,7 @@
 #include "net/frame.hpp"
 #include "net/interface.hpp"
 #include "sim/simulator.hpp"
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
 
 namespace mhrp::net {
@@ -112,7 +113,7 @@ class Link {
 
   /// Transmit from `from` (which must be attached). Schedules delivery to
   /// the matching member(s) after the link delay.
-  void transmit(const Interface& from, Frame frame);
+  MHRP_HOT_PATH void transmit(const Interface& from, Frame frame);
 
   /// Install (or, with nullptr, remove) the transmission observer. A
   /// replaced observer, and the observer of a link being destroyed, get
@@ -141,8 +142,10 @@ class Link {
   }
 
  private:
-  [[nodiscard]] sim::Time delay_for(std::size_t frame_bytes) const;
-  void schedule_delivery(Interface* member, Frame frame, sim::Time delay);
+  [[nodiscard]] MHRP_HOT_PATH sim::Time delay_for(
+      std::size_t frame_bytes) const;
+  MHRP_HOT_PATH void schedule_delivery(Interface* member, Frame frame,
+                                       sim::Time delay);
 
   sim::Simulator& sim_;
   std::string name_;

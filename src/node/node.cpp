@@ -61,9 +61,13 @@ void Node::fail() {
   if (!up_) return;
   up_ = false;
   // A crash loses all volatile link-layer state: ARP caches and the
-  // packets (and retry timers) queued awaiting resolution.
-  for (auto& [iface, st] : iface_state_) {
-    (void)iface;
+  // packets (and retry timers) queued awaiting resolution. Walk the
+  // interfaces in attachment order, not the pointer-keyed state map,
+  // so teardown order never depends on allocation addresses.
+  for (auto& iface : interfaces_) {
+    auto it = iface_state_.find(iface.get());
+    if (it == iface_state_.end()) continue;
+    InterfaceState& st = it->second;
     st.arp.clear();
     for (auto& [next_hop, pending] : st.pending) {
       (void)next_hop;
@@ -96,7 +100,7 @@ void Node::send_ip(Packet packet) {
   if (owns_address(dst)) {
     // Loopback delivery, decoupled from the caller's stack frame.
     if (interfaces_.empty()) return;
-    sim_.after(
+    (void)sim_.after(
         0,
         [this, packet = std::move(packet)]() mutable {
           deliver_local(packet, *interfaces_.front());
@@ -208,7 +212,7 @@ void Node::send_gratuitous_arp(Interface& iface, IpAddress ip,
   reply.target_mac = net::kMacBroadcast;
   reply.target_ip = ip;
   for (int i = 0; i <= repeats; ++i) {
-    sim_.after(
+    (void)sim_.after(
         sim::millis(100) * i,
         [this, &iface, reply] {
           // The interface may have detached in the meantime; send() handles

@@ -1,8 +1,27 @@
 #include "routing/routing_table.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mhrp::routing {
+
+namespace {
+
+// The per-length buckets are unordered maps; anything observable (DV
+// advertisement bodies, diagnostic dumps) must emit them in sorted key
+// order so output is byte-identical regardless of install order.
+std::vector<const Route*> sorted_bucket(
+    const std::unordered_map<std::uint32_t, Route>& slot) {
+  std::vector<const Route*> out;
+  out.reserve(slot.size());
+  for (const auto& [key, route] : slot) out.push_back(&route);
+  std::sort(out.begin(), out.end(), [](const Route* a, const Route* b) {
+    return a->prefix.address().raw() < b->prefix.address().raw();
+  });
+  return out;
+}
+
+}  // namespace
 
 void RoutingTable::install(const Route& route) {
   auto& slot = by_length_[static_cast<std::size_t>(route.prefix.length())];
@@ -56,7 +75,7 @@ std::vector<Route> RoutingTable::routes() const {
   std::vector<Route> out;
   out.reserve(count_);
   for (const auto& slot : by_length_) {
-    for (const auto& [key, route] : slot) out.push_back(route);
+    for (const Route* route : sorted_bucket(slot)) out.push_back(*route);
   }
   return out;
 }
@@ -64,12 +83,12 @@ std::vector<Route> RoutingTable::routes() const {
 std::string RoutingTable::to_string() const {
   std::ostringstream os;
   for (int length = 32; length >= 0; --length) {
-    for (const auto& [key, route] :
-         by_length_[static_cast<std::size_t>(length)]) {
-      os << route.prefix.to_string() << " via "
-         << (route.next_hop.is_unspecified() ? std::string("direct")
-                                             : route.next_hop.to_string())
-         << " metric " << route.metric << '\n';
+    for (const Route* route :
+         sorted_bucket(by_length_[static_cast<std::size_t>(length)])) {
+      os << route->prefix.to_string() << " via "
+         << (route->next_hop.is_unspecified() ? std::string("direct")
+                                              : route->next_hop.to_string())
+         << " metric " << route->metric << '\n';
     }
   }
   return os.str();

@@ -269,7 +269,7 @@ void ScaleWorld::start() {
     const sim::Time offset =
         spread * static_cast<sim::Time>(i) /
         static_cast<sim::Time>(std::max<std::size_t>(mobiles.size(), 1));
-    topo.sim().after(
+    (void)topo.sim().after(
         offset,
         [this, i] {
           schedules_[i]->start();

@@ -23,6 +23,7 @@
 
 #include "sim/event_category.hpp"
 #include "sim/time.hpp"
+#include "util/annotations.hpp"
 
 namespace mhrp::sim {
 
@@ -70,21 +71,27 @@ class EventQueue {
   /// Schedule `action` at absolute time `when`. Times may not decrease
   /// relative to already-popped events; the Simulator enforces that.
   /// `category` tags the event for profiler attribution; it does not
-  /// affect ordering.
-  EventHandle schedule(Time when, Action action,
-                       EventCategory category = EventCategory::kGeneral) {
-    std::uint32_t slot;
+  /// affect ordering. Dropping the returned handle forfeits the only way
+  /// to cancel the event — cast to void at intentional fire-and-forget
+  /// sites.
+  [[nodiscard]] MHRP_HOT_PATH EventHandle schedule(
+      Time when, Action action,
+      EventCategory category = EventCategory::kGeneral) {
+    serial_.assert_held();
+    std::uint32_t slot = 0;
     if (free_head_ != kNoSlot) {
       slot = free_head_;
       free_head_ = slots_[slot].next_free;
     } else {
       slot = static_cast<std::uint32_t>(slots_.size());
+      // mhrp-lint: allow(hotpath-alloc) amortized slab growth (file comment)
       slots_.emplace_back();
     }
     Slot& s = slots_[slot];
     s.action = std::move(action);
     s.category = category;
     s.live = true;
+    // mhrp-lint: allow(hotpath-alloc) amortized heap growth; entries are POD
     heap_.push_back(HeapItem{when, next_seq_++, slot, s.generation});
     sift_up(heap_.size() - 1);
     ++live_;
@@ -94,7 +101,8 @@ class EventQueue {
   /// Cancel a pending event. Returns true when the event was pending and
   /// is now cancelled; false when it already fired or was cancelled, or
   /// when the handle is default-constructed / from another queue.
-  bool cancel(const EventHandle& handle) {
+  MHRP_HOT_PATH bool cancel(const EventHandle& handle) {
+    serial_.assert_held();
     if (!pending(handle)) return false;
     release(handle.slot_);
     --live_;
@@ -103,7 +111,8 @@ class EventQueue {
 
   /// True when `handle` names an event of this queue that has neither
   /// fired nor been cancelled.
-  [[nodiscard]] bool pending(const EventHandle& handle) const {
+  [[nodiscard]] MHRP_HOT_PATH bool pending(const EventHandle& handle) const {
+    serial_.assert_held();
     if (handle.queue_ != this) return false;
     const Slot& s = slots_[handle.slot_];
     return s.live && s.generation == handle.generation_;
@@ -113,7 +122,8 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Timestamp of the next live event. Requires !empty().
-  [[nodiscard]] Time next_time() {
+  [[nodiscard]] MHRP_HOT_PATH Time next_time() {
+    serial_.assert_held();
     drop_orphans();
     return heap_.front().when;
   }
@@ -128,7 +138,8 @@ class EventQueue {
   /// Remove and return the next live event. Requires !empty(). The slot
   /// is released before returning, so the event's handle reports
   /// non-pending while the action runs (and cancelling it returns false).
-  Fired pop() {
+  MHRP_HOT_PATH Fired pop() {
+    serial_.assert_held();
     drop_orphans();
     const HeapItem top = heap_.front();
     pop_root();
@@ -166,7 +177,7 @@ class EventQueue {
 
   /// Free a slot: clear the action, invalidate outstanding handles and
   /// heap entries by bumping the generation, and push it on the free list.
-  void release(std::uint32_t slot) {
+  void release(std::uint32_t slot) MHRP_REQUIRES(serial_) {
     Slot& s = slots_[slot];
     s.action = nullptr;
     s.live = false;
@@ -181,17 +192,17 @@ class EventQueue {
     return slots_[item.slot].generation != item.generation;
   }
 
-  void drop_orphans() {
+  void drop_orphans() MHRP_REQUIRES(serial_) {
     while (!heap_.empty() && orphan(heap_.front())) pop_root();
   }
 
-  void pop_root() {
+  void pop_root() MHRP_REQUIRES(serial_) {
     heap_.front() = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
   }
 
-  void sift_up(std::size_t i) {
+  void sift_up(std::size_t i) MHRP_REQUIRES(serial_) {
     const HeapItem item = heap_[i];
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
@@ -202,7 +213,7 @@ class EventQueue {
     heap_[i] = item;
   }
 
-  void sift_down(std::size_t i) {
+  void sift_down(std::size_t i) MHRP_REQUIRES(serial_) {
     const HeapItem item = heap_[i];
     const std::size_t n = heap_.size();
     while (true) {
@@ -216,11 +227,18 @@ class EventQueue {
     heap_[i] = item;
   }
 
-  std::vector<Slot> slots_;
-  std::vector<HeapItem> heap_;
-  std::uint32_t free_head_ = kNoSlot;
-  std::uint64_t next_seq_ = 0;
-  std::size_t live_ = 0;
+  // Groundwork for the sharded executive (ROADMAP item 1): all mutable
+  // queue state is owned by a single logical serial domain today. The
+  // phantom capability documents that invariant and lets a clang
+  // -Wthread-safety build verify it at zero runtime cost; when shards
+  // land, each shard's queue carries its own domain and the annotations
+  // turn into real lock requirements.
+  util::ExecutiveSerial serial_;
+  std::vector<Slot> slots_ MHRP_GUARDED_BY(serial_);
+  std::vector<HeapItem> heap_ MHRP_GUARDED_BY(serial_);
+  std::uint32_t free_head_ MHRP_GUARDED_BY(serial_) = kNoSlot;
+  std::uint64_t next_seq_ MHRP_GUARDED_BY(serial_) = 0;
+  std::size_t live_ = 0;  // read by empty()/size() observers
 };
 
 inline bool EventHandle::pending() const {

@@ -11,6 +11,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/profiler.hpp"
 #include "sim/time.hpp"
+#include "util/annotations.hpp"
 
 namespace mhrp::sim {
 
@@ -19,20 +20,28 @@ class Simulator {
   using Action = EventQueue::Action;
 
   /// Current simulated time. Monotone non-decreasing across the run.
-  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Time now() const {
+    serial_.assert_held();
+    return now_;
+  }
 
   /// Schedule `action` at absolute simulated time `when`; times in the
   /// past are clamped to `now()` (the event still fires, immediately
-  /// after already-queued events at `now()`).
-  EventHandle at(Time when, Action action,
-                 EventCategory category = EventCategory::kGeneral) {
+  /// after already-queued events at `now()`). Discarding the handle
+  /// forfeits cancellation — cast to void at fire-and-forget sites.
+  [[nodiscard]] MHRP_HOT_PATH EventHandle at(
+      Time when, Action action,
+      EventCategory category = EventCategory::kGeneral) {
+    serial_.assert_held();
     if (when < now_) when = now_;
     return queue_.schedule(when, std::move(action), category);
   }
 
   /// Schedule `action` after a relative delay (>= 0) from now.
-  EventHandle after(Time delay, Action action,
-                    EventCategory category = EventCategory::kGeneral) {
+  [[nodiscard]] MHRP_HOT_PATH EventHandle after(
+      Time delay, Action action,
+      EventCategory category = EventCategory::kGeneral) {
+    serial_.assert_held();
     return at(now_ + (delay < 0 ? 0 : delay), std::move(action), category);
   }
 
@@ -59,10 +68,14 @@ class Simulator {
   }
 
   /// Run for a relative duration from the current clock.
-  std::size_t run_for(Time duration) { return run_until(now_ + duration); }
+  std::size_t run_for(Time duration) {
+    serial_.assert_held();
+    return run_until(now_ + duration);
+  }
 
   /// Execute exactly one event, if any. Returns whether one ran.
   bool step() {
+    serial_.assert_held();
     if (queue_.empty()) return false;
     auto fired = queue_.pop();
     now_ = fired.when;
@@ -72,7 +85,10 @@ class Simulator {
 
   /// Request that the current run() / run_until() return after the
   /// currently executing event completes.
-  void stop() { stopped_ = true; }
+  void stop() {
+    serial_.assert_held();
+    stopped_ = true;
+  }
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
@@ -82,6 +98,7 @@ class Simulator {
   /// an executive with no telemetry at all — zero cost when disabled.
   template <bool kProfiled>
   std::size_t run_loop(Time deadline) {
+    serial_.assert_held();
     stopped_ = false;
     std::size_t executed = 0;
     while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
@@ -103,9 +120,14 @@ class Simulator {
     return executed;
   }
 
+  // Executive state is serial today; the phantom capability records that
+  // for the future sharded executive (ROADMAP item 1) and a clang
+  // -Wthread-safety build, at zero runtime cost. The clock and stop flag
+  // are only touched between events, never concurrently with one.
+  util::ExecutiveSerial serial_;
   EventQueue queue_;
-  Time now_ = kTimeZero;
-  bool stopped_ = false;
+  Time now_ MHRP_GUARDED_BY(serial_) = kTimeZero;
+  bool stopped_ MHRP_GUARDED_BY(serial_) = false;
   EventLoopProfiler* profiler_ = nullptr;
 };
 

@@ -61,7 +61,7 @@ class HomeStore {
 
   /// Append one mutation per the sync policy. Down stores swallow the
   /// record (lsn 0, no ack) — the caller is mid-crash anyway.
-  Ticket log(const WalRecord& record);
+  [[nodiscard]] Ticket log(const WalRecord& record);
 
   /// Force everything durable now (used at snapshot points and by tests).
   /// Returns false when the store is down or a crash was injected.
@@ -74,7 +74,7 @@ class HomeStore {
   /// Mount after a crash (or a fresh boot): replays the longest valid
   /// prefix and re-arms the interval timer. The recovered rows are in
   /// `state()`; the agent rebuilds its map from them.
-  RecoveryStats recover();
+  [[nodiscard]] RecoveryStats recover();
 
   /// Wipe the device and start empty — the reboot(preserve=false) path
   /// and a replica rebuilt from scratch.

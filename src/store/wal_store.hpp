@@ -111,12 +111,12 @@ class WalStore {
   /// valid log prefix, and position the tail so append() continues the
   /// sequence. Safe to call repeatedly; recovery mutates nothing on
   /// disk, so calling it twice yields byte-identical results.
-  RecoveryStats recover();
+  [[nodiscard]] RecoveryStats recover();
 
   /// Append one record to the log (volatile until the next sync()).
   /// Triggers snapshot+compaction when the configured record budget or
   /// the log region is exhausted. Returns the record's LSN.
-  Lsn append(const WalRecord& record);
+  [[nodiscard]] Lsn append(const WalRecord& record);
 
   /// Make everything appended so far durable. Returns false when the
   /// disk's crash hook injected a crash mid-sync.

@@ -1,0 +1,85 @@
+// Source annotations read by the compiler and by tools/lint/mhrp-lint.
+//
+// Three families:
+//
+//  * MHRP_HOT_PATH marks the per-event functions the whole simulator's
+//    throughput rides on (EventQueue schedule/cancel/pop, Link::transmit,
+//    packet serialization). mhrp-lint forbids operator new, make_shared/
+//    make_unique, and allocating container growth inside them — the slab
+//    queue's zero-per-event-allocation property (DESIGN.md §8) is a
+//    measured 2.7-3.3x and must not erode one push_back at a time.
+//    Expands to [[gnu::hot]] so the optimizer hears about it too.
+//
+//  * MHRP_DETERMINISM_EXEMPT(reason) exempts one function from
+//    mhrp-lint's determinism rules (wall-clock, unseeded RNG, unordered
+//    iteration). The reason string is mandatory and should say why the
+//    nondeterminism cannot reach replay digests.
+//
+//  * Clang thread-safety annotations (MHRP_GUARDED_BY & co.), compiled
+//    under -Wthread-safety on Clang builds and inert elsewhere. The
+//    sharded executive (ROADMAP item 1) will hand each shard its own
+//    EventQueue + worker thread; annotating the executive's shared state
+//    NOW means the shard refactor inherits machine-checked locking
+//    discipline instead of retrofitting it. Until real locks exist,
+//    ExecutiveSerial below is the capability: a phantom "I am the (only)
+//    executive thread of this shard" token.
+#pragma once
+
+namespace mhrp::util {
+
+// ---- Thread-safety analysis attributes (Clang only) ----
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MHRP_TS_ATTR(x) __attribute__((x))
+#else
+#define MHRP_TS_ATTR(x)  // no-op outside Clang
+#endif
+
+#define MHRP_CAPABILITY(x) MHRP_TS_ATTR(capability(x))
+#define MHRP_SCOPED_CAPABILITY MHRP_TS_ATTR(scoped_lockable)
+#define MHRP_GUARDED_BY(x) MHRP_TS_ATTR(guarded_by(x))
+#define MHRP_PT_GUARDED_BY(x) MHRP_TS_ATTR(pt_guarded_by(x))
+#define MHRP_REQUIRES(...) MHRP_TS_ATTR(requires_capability(__VA_ARGS__))
+#define MHRP_REQUIRES_SHARED(...) \
+  MHRP_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+#define MHRP_ACQUIRE(...) MHRP_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define MHRP_RELEASE(...) MHRP_TS_ATTR(release_capability(__VA_ARGS__))
+#define MHRP_TRY_ACQUIRE(...) \
+  MHRP_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define MHRP_EXCLUDES(...) MHRP_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define MHRP_ASSERT_CAPABILITY(x) MHRP_TS_ATTR(assert_capability(x))
+#define MHRP_RETURN_CAPABILITY(x) MHRP_TS_ATTR(lock_returned(x))
+#define MHRP_NO_THREAD_SAFETY_ANALYSIS MHRP_TS_ATTR(no_thread_safety_analysis)
+
+/// Phantom capability standing in for "the executive thread of this
+/// shard". Today the simulator is single-threaded, so holding it is
+/// trivially true and assert_held() compiles to nothing; once worker
+/// threads land, each shard's loop asserts its own serial and
+/// -Wthread-safety rejects any cross-shard touch of guarded state that
+/// does not go through a real synchronization point (which will acquire
+/// the capability for the analysis via MHRP_ACQUIRE/MHRP_RELEASE).
+class MHRP_CAPABILITY("executive-serial") ExecutiveSerial {
+ public:
+  /// Zero-cost: tells the analysis (not the runtime) that the calling
+  /// context is serialized on this shard's executive.
+  void assert_held() const MHRP_ASSERT_CAPABILITY(this) {}
+};
+
+// ---- Hot-path marker ----
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MHRP_HOT_PATH [[gnu::hot]]
+#else
+#define MHRP_HOT_PATH
+#endif
+
+// ---- Determinism exemption (lint marker only) ----
+
+/// Exempts the enclosing function from mhrp-lint's determinism rules.
+/// Place it in the function body (first statement, by convention). The
+/// reason must explain why the nondeterminism cannot reach replay
+/// digests. Expands to nothing; the linter matches it lexically.
+#define MHRP_DETERMINISM_EXEMPT(reason) \
+  static_assert(sizeof(reason) > 1, "exemption reason required")
+
+}  // namespace mhrp::util

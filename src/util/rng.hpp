@@ -43,6 +43,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  // mhrp-lint: allow(unseeded-rng) every constructor seeds this engine
   std::mt19937_64 engine_;
 };
 

@@ -159,13 +159,13 @@ TEST(FaultPlane, ScriptedLinkOutageAutoHeals) {
 
   bool during = true;
   bool after = false;
-  topo.sim().after(sim::millis(1500), [&] {
+  (void)topo.sim().after(sim::millis(1500), [&] {
     EXPECT_FALSE(lan.is_up());
     a.ping(ip("10.1.0.11"),
            [&](const node::Host::PingResult& r) { during = r.replied; }, 16,
            sim::seconds(1));
   });
-  topo.sim().after(sim::seconds(4), [&] {
+  (void)topo.sim().after(sim::seconds(4), [&] {
     EXPECT_TRUE(lan.is_up());
     a.ping(ip("10.1.0.11"),
            [&](const node::Host::PingResult& r) { after = r.replied; });

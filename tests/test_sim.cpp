@@ -23,9 +23,9 @@ namespace {
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(30, [&] { order.push_back(3); });
-  q.schedule(10, [&] { order.push_back(1); });
-  q.schedule(20, [&] { order.push_back(2); });
+  (void)q.schedule(30, [&] { order.push_back(3); });
+  (void)q.schedule(10, [&] { order.push_back(1); });
+  (void)q.schedule(20, [&] { order.push_back(2); });
   while (!q.empty()) {
     auto fired = q.pop();
     fired.action();
@@ -37,7 +37,7 @@ TEST(EventQueue, TiesBreakFifoBySchedulingOrder) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    q.schedule(5, [&order, i] { order.push_back(i); });
+    (void)q.schedule(5, [&order, i] { order.push_back(i); });
   }
   while (!q.empty()) q.pop().action();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
@@ -149,7 +149,7 @@ TEST(EventQueue, CancelPeerInsideFiringActionPreventsIt) {
   EventQueue q;
   bool peer_ran = false;
   EventHandle peer;
-  q.schedule(10, [&] { EXPECT_TRUE(q.cancel(peer)); });
+  (void)q.schedule(10, [&] { EXPECT_TRUE(q.cancel(peer)); });
   peer = q.schedule(10, [&] { peer_ran = true; });
   while (!q.empty()) q.pop().action();
   EXPECT_FALSE(peer_ran);
@@ -170,7 +170,7 @@ TEST(EventQueue, FifoSurvivesInterleavedCancellation) {
 TEST(Simulator, ClockFollowsEvents) {
   Simulator sim;
   Time seen = -1;
-  sim.after(millis(5), [&] { seen = sim.now(); });
+  (void)sim.after(millis(5), [&] { seen = sim.now(); });
   sim.run();
   EXPECT_EQ(seen, millis(5));
   EXPECT_EQ(sim.now(), millis(5));
@@ -179,8 +179,8 @@ TEST(Simulator, ClockFollowsEvents) {
 TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
   Simulator sim;
   int count = 0;
-  sim.after(millis(1), [&] { ++count; });
-  sim.after(millis(100), [&] { ++count; });
+  (void)sim.after(millis(1), [&] { ++count; });
+  (void)sim.after(millis(100), [&] { ++count; });
   sim.run_until(millis(10));
   EXPECT_EQ(count, 1);
   EXPECT_EQ(sim.now(), millis(10));
@@ -194,10 +194,10 @@ TEST(Simulator, EventsScheduleMoreEvents) {
   std::function<void(int)> chain = [&](int depth) {
     times.push_back(sim.now());
     if (depth > 0) {
-      sim.after(millis(2), [&chain, depth] { chain(depth - 1); });
+      (void)sim.after(millis(2), [&chain, depth] { chain(depth - 1); });
     }
   };
-  sim.after(0, [&] { chain(3); });
+  (void)sim.after(0, [&] { chain(3); });
   sim.run();
   EXPECT_EQ(times, (std::vector<Time>{0, millis(2), millis(4), millis(6)}));
 }
@@ -206,7 +206,7 @@ TEST(Simulator, StopInterruptsRun) {
   Simulator sim;
   int count = 0;
   for (int i = 1; i <= 10; ++i) {
-    sim.after(millis(i), [&sim, &count] {
+    (void)sim.after(millis(i), [&sim, &count] {
       if (++count == 3) sim.stop();
     });
   }
@@ -216,10 +216,10 @@ TEST(Simulator, StopInterruptsRun) {
 
 TEST(Simulator, PastEventsClampToNow) {
   Simulator sim;
-  sim.after(millis(10), [] {});
+  (void)sim.after(millis(10), [] {});
   sim.run();
   bool ran = false;
-  sim.at(millis(1), [&] { ran = true; });  // in the past now
+  (void)sim.at(millis(1), [&] { ran = true; });  // in the past now
   sim.run();
   EXPECT_TRUE(ran);
   EXPECT_EQ(sim.now(), millis(10));

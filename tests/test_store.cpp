@@ -170,8 +170,8 @@ TEST(WalStore, SnapshotOnlyRecoveryReplaysNoRecords) {
   SimDisk disk(512, 1024);
   WalStore wal(disk, small_store());
   wal.format();
-  wal.append(provision("10.1.0.77"));
-  wal.append(binding("10.1.0.77", "10.3.0.1", 1));
+  (void)wal.append(provision("10.1.0.77"));
+  (void)wal.append(binding("10.1.0.77", "10.3.0.1", 1));
   ASSERT_TRUE(wal.sync());
   ASSERT_TRUE(wal.snapshot());  // compacts: the log is logically empty
 
@@ -191,14 +191,14 @@ TEST(WalStore, TornFinalRecordRecoversTheSyncedPrefix) {
   SimDisk disk(512, 1024);
   WalStore wal(disk, small_store());
   wal.format();
-  wal.append(provision("10.1.0.77"));
+  (void)wal.append(provision("10.1.0.77"));
   for (std::uint32_t s = 1; s <= 5; ++s) {
-    wal.append(binding("10.1.0.77", "10.3.0.1", s));
+    (void)wal.append(binding("10.1.0.77", "10.3.0.1", s));
   }
   ASSERT_TRUE(wal.sync());  // LSNs 1..6 durable
 
   // One more record, torn a few bytes in while persisting.
-  wal.append(binding("10.1.0.77", "10.4.0.1", 6));
+  (void)wal.append(binding("10.1.0.77", "10.4.0.1", 6));
   disk.set_crash_hook(
       [](std::uint64_t, std::size_t, std::size_t& tear_at) {
         tear_at = 4;
@@ -220,9 +220,9 @@ TEST(WalStore, CorruptMidLogRecordEndsTheValidPrefix) {
   SimDisk disk(512, 1024);
   WalStore wal(disk, small_store());
   wal.format();
-  wal.append(provision("10.1.0.77"));  // LSN 1
+  (void)wal.append(provision("10.1.0.77"));  // LSN 1
   for (std::uint32_t s = 1; s <= 9; ++s) {
-    wal.append(binding("10.1.0.77", "10.3.0.1", s));  // LSNs 2..10
+    (void)wal.append(binding("10.1.0.77", "10.3.0.1", s));  // LSNs 2..10
   }
   ASSERT_TRUE(wal.sync());
 
@@ -247,7 +247,7 @@ TEST(WalStore, CrashDuringCompactionKeepsTheOldSnapshotAndLog) {
   WalStore wal(disk, small_store());
   wal.format();
   for (std::uint32_t s = 1; s <= 8; ++s) {
-    wal.append(binding(s % 2 == 0 ? "10.1.0.77" : "10.1.0.78", "10.3.0.1",
+    (void)wal.append(binding(s % 2 == 0 ? "10.1.0.77" : "10.1.0.78", "10.3.0.1",
                        s));
   }
   ASSERT_TRUE(wal.sync());
@@ -276,7 +276,7 @@ TEST(WalStore, CorruptNewestSuperblockFallsBackToTheOlderCopy) {
   WalStore wal(disk, small_store());
   wal.format();  // epoch 1 lives in slot 1
   for (std::uint32_t s = 1; s <= 4; ++s) {
-    wal.append(binding("10.1.0.77", "10.3.0.1", s));
+    (void)wal.append(binding("10.1.0.77", "10.3.0.1", s));
   }
   ASSERT_TRUE(wal.sync());
   ASSERT_TRUE(wal.snapshot());  // epoch 2 flips into slot 0
@@ -318,15 +318,15 @@ TEST(WalStore, RecoveryIsByteIdenticalWhenRepeated) {
   WalStore wal(disk, small_store());
   wal.format();
   for (std::uint32_t s = 1; s <= 20; ++s) {
-    wal.append(binding(s % 3 == 0 ? "10.1.0.78" : "10.1.0.77", "10.3.0.1",
+    (void)wal.append(binding(s % 3 == 0 ? "10.1.0.78" : "10.1.0.77", "10.3.0.1",
                        s));
   }
   ASSERT_TRUE(wal.sync());
 
   WalStore first(disk, small_store());
-  first.recover();
+  (void)first.recover();
   WalStore second(disk, small_store());
-  second.recover();
+  (void)second.recover();
   EXPECT_EQ(first.state_digest(), second.state_digest());
 }
 
@@ -334,16 +334,16 @@ TEST(WalStore, EraseRecordRetiresTheRow) {
   SimDisk disk(512, 1024);
   WalStore wal(disk, small_store());
   wal.format();
-  wal.append(provision("10.1.0.77"));
-  wal.append(binding("10.1.0.77", "10.3.0.1", 1));
+  (void)wal.append(provision("10.1.0.77"));
+  (void)wal.append(binding("10.1.0.77", "10.3.0.1", 1));
   WalRecord erase;
   erase.kind = WalRecord::Kind::kErase;
   erase.mobile_host = ip("10.1.0.77");
-  wal.append(erase);
+  (void)wal.append(erase);
   ASSERT_TRUE(wal.sync());
 
   WalStore reopened(disk, small_store());
-  reopened.recover();
+  (void)reopened.recover();
   EXPECT_TRUE(reopened.state().empty());
 }
 
@@ -424,9 +424,9 @@ TEST(HomeStore, CrashAndRecoverRestoresDurableRowsOnly) {
   o.sync_policy = SyncPolicy::kInterval;
   o.sync_interval = sim::seconds(300);  // no commit before the crash
   HomeStore hs(sim, o);
-  hs.log(binding("10.1.0.77", "10.3.0.1", 1));
+  (void)hs.log(binding("10.1.0.77", "10.3.0.1", 1));
   ASSERT_TRUE(hs.flush());
-  hs.log(binding("10.1.0.77", "10.4.0.1", 2));  // cached, never synced
+  (void)hs.log(binding("10.1.0.77", "10.4.0.1", 2));  // cached, never synced
 
   hs.crash();
   EXPECT_TRUE(hs.down());

@@ -257,12 +257,12 @@ TEST(EventLoopProfilerTest, AttributesEventsToCategories) {
   simulator.set_profiler(&profiler);
   int ran = 0;
   for (int i = 0; i < 5; ++i) {
-    simulator.after(sim::millis(i), [&ran] { ++ran; },
+    (void)simulator.after(sim::millis(i), [&ran] { ++ran; },
                     sim::EventCategory::kRegistration);
   }
-  simulator.after(sim::millis(9), [&ran] { ++ran; },
+  (void)simulator.after(sim::millis(9), [&ran] { ++ran; },
                   sim::EventCategory::kMovement);
-  simulator.after(sim::millis(10), [&ran] { ++ran; });  // kGeneral
+  (void)simulator.after(sim::millis(10), [&ran] { ++ran; });  // kGeneral
   simulator.run_until(sim::seconds(1));
   EXPECT_EQ(ran, 7);
   EXPECT_EQ(profiler.bucket(sim::EventCategory::kRegistration).events, 5u);
@@ -279,10 +279,10 @@ TEST(EventLoopProfilerTest, SimulatedBehaviorUnchangedByProfiler) {
     sim::EventLoopProfiler profiler;
     if (with_profiler) simulator.set_profiler(&profiler);
     std::vector<int> order;
-    simulator.after(sim::millis(2), [&] { order.push_back(2); },
+    (void)simulator.after(sim::millis(2), [&] { order.push_back(2); },
                     sim::EventCategory::kArp);
-    simulator.after(sim::millis(1), [&] { order.push_back(1); });
-    simulator.after(sim::millis(3), [&] { order.push_back(3); },
+    (void)simulator.after(sim::millis(1), [&] { order.push_back(1); });
+    (void)simulator.after(sim::millis(3), [&] { order.push_back(3); },
                     sim::EventCategory::kWorkload);
     simulator.run_until(sim::seconds(1));
     return order;

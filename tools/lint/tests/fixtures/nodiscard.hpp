@@ -1,0 +1,32 @@
+// Fixture: nodiscard rule. Status/handle-returning declarations without
+// [[nodiscard]] fire; annotated and suppressed ones are clean.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class EventHandle {
+ public:
+  EventHandle() = default;  // constructors never fire the rule
+};
+
+using Lsn = std::uint64_t;
+
+struct Ticket {
+  Lsn lsn = 0;
+};
+
+class Api {
+ public:
+  EventHandle schedule_bad();  // EXPECT-LINT: nodiscard
+  [[nodiscard]] EventHandle schedule_good();
+  Ticket log_bad();  // EXPECT-LINT: nodiscard
+  [[nodiscard]] Ticket log_good();
+  Lsn append_bad();  // EXPECT-LINT: nodiscard
+  [[nodiscard]] Lsn append_good();
+  // mhrp-lint: allow(nodiscard) fixture demonstrating suppression
+  EventHandle schedule_suppressed();
+};
+
+}  // namespace fixture

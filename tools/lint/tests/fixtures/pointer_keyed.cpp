@@ -1,0 +1,24 @@
+// Fixture: pointer-keyed rule. Associative containers keyed by raw
+// pointers fire at the declaration; value-keyed containers and suppressed
+// lookup-only registries do not count against the run.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Node {};
+
+struct Bad {
+  std::map<Node*, int> by_node;        // EXPECT-LINT: pointer-keyed
+  std::set<const Node*> members;       // EXPECT-LINT: pointer-keyed
+  std::unordered_map<Node*, int> idx;  // EXPECT-LINT: pointer-keyed
+};
+
+struct Good {
+  std::map<int, Node*> by_id;  // pointer VALUES are fine; keys are not
+  // mhrp-lint: allow(pointer-keyed) lookup-only registry, never iterated
+  std::map<Node*, int> registry;
+};
+
+}  // namespace fixture

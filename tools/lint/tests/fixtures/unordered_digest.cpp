@@ -1,0 +1,45 @@
+// Fixture: unordered-iter rule. Iterating an unordered container inside
+// an observable-output function (digest/to_string/report/...) fires; the
+// same loop in a plain function, or a suppressed collect-then-sort, does
+// not count against the run.
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class Table {
+ public:
+  std::string digest() const {
+    std::ostringstream out;
+    for (const auto& [k, v] : rows_) {  // EXPECT-LINT: unordered-iter
+      out << k << '=' << v << '\n';
+    }
+    return out.str();
+  }
+
+  std::string digest_sorted() const {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> sorted;
+    sorted.reserve(rows_.size());
+    // mhrp-lint: allow(unordered-iter) collected then sorted below
+    for (const auto& [k, v] : rows_) sorted.emplace_back(k, v);
+    std::sort(sorted.begin(), sorted.end());
+    std::ostringstream out;
+    for (const auto& [k, v] : sorted) out << k << '=' << v << '\n';
+    return out.str();
+  }
+
+  std::uint64_t sum() const {  // not observable-output: clean
+    std::uint64_t total = 0;
+    for (const auto& [k, v] : rows_) total += v;
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> rows_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: unseeded-rng rule. Ambient randomness fires; scenario-seeded
+// engines and suppressed declarations do not.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_rand() {
+  return rand();  // EXPECT-LINT: unseeded-rng
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;  // EXPECT-LINT: unseeded-rng
+  return rd();
+}
+
+std::uint64_t bad_default_engine() {
+  std::mt19937_64 engine;  // EXPECT-LINT: unseeded-rng
+  return engine();
+}
+
+std::uint64_t good_seeded_engine(std::uint64_t seed) {
+  std::mt19937_64 engine(seed);  // explicit seed: clean
+  return engine();
+}
+
+std::uint64_t suppressed_engine() {
+  // mhrp-lint: allow(unseeded-rng) fixture demonstrating suppression
+  std::mt19937_64 engine;
+  return engine();
+}
+
+}  // namespace fixture

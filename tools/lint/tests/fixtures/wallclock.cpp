@@ -1,0 +1,37 @@
+// Fixture: wallclock rule. One firing per forbidden source, one inline
+// suppression, one MHRP_DETERMINISM_EXEMPT'd function.
+#include <chrono>
+#include <ctime>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+double bad_steady_read() {
+  auto t0 = std::chrono::steady_clock::now();  // EXPECT-LINT: wallclock
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long bad_time_call() {
+  return time(nullptr);  // EXPECT-LINT: wallclock
+}
+
+long bad_clock_gettime() {
+  timespec ts{};
+  clock_gettime(0, &ts);  // EXPECT-LINT: wallclock
+  return ts.tv_sec;
+}
+
+double suppressed_read() {
+  // mhrp-lint: allow(wallclock) bench-only wall timing, never digested
+  auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+double exempt_function() {
+  MHRP_DETERMINISM_EXEMPT("bench harness timing; output is not replayed");
+  auto t0 = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: wallclock allowlist. This file is passed via --wallclock-allow
+// (the profiler's real-world configuration), so nothing here fires.
+#include <chrono>
+
+namespace fixture {
+
+double allowed_profiler_read() {
+  auto t0 = std::chrono::steady_clock::now();  // allowlisted file: clean
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""End-to-end tests for mhrp-lint, run as a ctest target.
+
+Each fixture under fixtures/ marks its expected findings with
+`// EXPECT-LINT: <rule>` on the offending line. The test runs the linter
+over the corpus and requires the finding set to match the expectation set
+exactly — so every rule is exercised with at least one firing, one
+suppressed case, and (where applicable) one allowlisted/exempted case.
+
+Also covers the baseline ratchet: a baseline matching a finding passes,
+a stale baseline entry fails, and --write-baseline round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "..", "mhrp_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+EXPECT_RE = re.compile(r"//\s*EXPECT-LINT:\s*([a-z\-]+)")
+
+FAILURES: list[str] = []
+
+
+def check(cond: bool, what: str) -> None:
+    print(("PASS " if cond else "FAIL ") + what)
+    if not cond:
+        FAILURES.append(what)
+
+
+def run_lint(*args: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expected_findings() -> set[tuple[str, str, int]]:
+    expected: set[tuple[str, str, int]] = set()
+    for name in sorted(os.listdir(FIXTURES)):
+        path = os.path.join(FIXTURES, name)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                m = EXPECT_RE.search(line)
+                if m:
+                    expected.add((m.group(1), name, lineno))
+    return expected
+
+
+FINDING_RE = re.compile(r"^.*?([\w.]+\.(?:cpp|hpp|h)):(\d+): \[([a-z\-]+)\]")
+
+
+def actual_findings(output: str) -> set[tuple[str, str, int]]:
+    actual: set[tuple[str, str, int]] = set()
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            actual.add((m.group(3), os.path.basename(m.group(1)),
+                        int(m.group(2))))
+    return actual
+
+
+def test_fixture_corpus() -> None:
+    code, out = run_lint(
+        FIXTURES,
+        "--wallclock-allow",
+        "tools/lint/tests/fixtures/wallclock_allowed.cpp")
+    expected = expected_findings()
+    actual = actual_findings(out)
+    check(code == 1, "fixture corpus exits 1 (findings present)")
+    missing = expected - actual
+    unexpected = actual - expected
+    for rule, fname, line in sorted(missing):
+        print(f"  missing expected finding: {fname}:{line} [{rule}]")
+    for rule, fname, line in sorted(unexpected):
+        print(f"  unexpected finding: {fname}:{line} [{rule}]")
+    check(not missing, "every EXPECT-LINT annotation fires")
+    check(not unexpected, "no findings beyond the EXPECT-LINT annotations")
+    rules_covered = {rule for rule, _, _ in actual}
+    check(rules_covered == {"wallclock", "unseeded-rng", "unordered-iter",
+                            "pointer-keyed", "hotpath-alloc", "nodiscard"},
+          "all six rules have at least one firing fixture")
+
+
+def test_suppressions_listed() -> None:
+    _code, out = run_lint(
+        FIXTURES, "--list-suppressed",
+        "--wallclock-allow",
+        "tools/lint/tests/fixtures/wallclock_allowed.cpp")
+    check("[suppressed]" in out, "suppressed findings listed on demand")
+
+
+def test_baseline_ratchet() -> None:
+    fixture = os.path.join(FIXTURES, "nodiscard.hpp")
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = os.path.join(tmp, "baseline.json")
+
+        # A baseline covering one real finding: run passes only when the
+        # remaining findings are also covered -> cover all three.
+        entries = [
+            {"rule": "nodiscard", "file": "tools/lint/tests/fixtures/"
+             "nodiscard.hpp", "symbol": sym,
+             "justification": "fixture baseline entry"}
+            for sym in ("schedule_bad", "log_bad", "append_bad")
+        ]
+        with open(baseline, "w", encoding="utf-8") as f:
+            json.dump({"schema": "mhrp-lint-baseline.v1",
+                       "entries": entries}, f)
+        code, out = run_lint(fixture, "--baseline", baseline)
+        check(code == 0, "fully baselined file passes")
+        check(out.count("[baselined]") == 3, "baselined findings are marked")
+
+        # Add a stale entry: the ratchet must fail the run.
+        entries.append({"rule": "nodiscard",
+                        "file": "tools/lint/tests/fixtures/nodiscard.hpp",
+                        "symbol": "no_such_function",
+                        "justification": "stale"})
+        with open(baseline, "w", encoding="utf-8") as f:
+            json.dump({"schema": "mhrp-lint-baseline.v1",
+                       "entries": entries}, f)
+        code, out = run_lint(fixture, "--baseline", baseline)
+        check(code == 1, "stale baseline entry fails the run")
+        check("STALE" in out, "stale entry is reported")
+
+        # A justification is mandatory.
+        with open(baseline, "w", encoding="utf-8") as f:
+            json.dump({"schema": "mhrp-lint-baseline.v1", "entries": [
+                {"rule": "nodiscard", "file": "x", "symbol": "y",
+                 "justification": "  "}]}, f)
+        code, _out = run_lint(fixture, "--baseline", baseline)
+        check(code == 2, "baseline entry without justification is rejected")
+
+        # --write-baseline captures current findings; rerunning against
+        # it passes and a subsequent fix would turn the entry stale.
+        code, _out = run_lint(fixture, "--write-baseline", baseline)
+        check(code == 0, "--write-baseline succeeds")
+        with open(baseline, encoding="utf-8") as f:
+            written = json.load(f)["entries"]
+        check({e["symbol"] for e in written} ==
+              {"schedule_bad", "log_bad", "append_bad"},
+              "--write-baseline captures exactly the unsuppressed findings")
+        code, _out = run_lint(fixture, "--baseline", baseline)
+        check(code == 0, "written baseline round-trips clean")
+
+
+def test_determinism_rules_scoped() -> None:
+    # The exempted function in wallclock.cpp must not fire even though it
+    # reads system_clock; delete the marker and it must fire.
+    path = os.path.join(FIXTURES, "wallclock.cpp")
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    assert "MHRP_DETERMINISM_EXEMPT" in text
+    with tempfile.TemporaryDirectory() as tmp:
+        mutated = os.path.join(tmp, "wallclock_mutated.cpp")
+        with open(mutated, "w", encoding="utf-8") as f:
+            f.write(text.replace(
+                'MHRP_DETERMINISM_EXEMPT("bench harness timing; output is '
+                'not replayed");', ""))
+        code, out = run_lint(mutated)
+        check("exempt_function" in out,
+              "removing MHRP_DETERMINISM_EXEMPT re-arms the rule")
+        check(code == 1, "mutated fixture exits 1")
+
+
+def main() -> int:
+    test_fixture_corpus()
+    test_suppressions_listed()
+    test_baseline_ratchet()
+    test_determinism_rules_scoped()
+    print(f"\n{len(FAILURES)} failure(s)")
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
