@@ -25,7 +25,7 @@ sim::Time registration_backoff_delay(const MobileHostConfig& config,
   return std::max<sim::Time>(1, static_cast<sim::Time>(delay));
 }
 
-MobileHost::MobileHost(sim::Simulator& sim, std::string name,
+MobileHost::MobileHost(sim::Executive& sim, std::string name,
                        IpAddress home_ip, int home_prefix_length,
                        MobileHostConfig config)
     : Host(sim, std::move(name)),

@@ -99,7 +99,7 @@ class MobileHost : public node::Host {
 
   /// Creates the host with one (wireless) interface carrying its
   /// permanent home address.
-  MobileHost(sim::Simulator& sim, std::string name, net::IpAddress home_ip,
+  MobileHost(sim::Executive& sim, std::string name, net::IpAddress home_ip,
              int home_prefix_length, MobileHostConfig config);
 
   [[nodiscard]] net::Interface& radio() { return *radio_; }

@@ -10,7 +10,7 @@
 
 namespace mhrp::faults {
 
-FaultPlane::FaultPlane(sim::Simulator& sim, std::uint64_t seed)
+FaultPlane::FaultPlane(sim::Executive& sim, std::uint64_t seed)
     : sim_(sim), rng_(seed) {}
 
 FaultPlane::~FaultPlane() {
@@ -32,6 +32,11 @@ std::size_t FaultPlane::add_node(node::Node& node, core::MhrpAgent* agent) {
   t.agent = agent;
   nodes_.push_back(t);
   return nodes_.size() - 1;
+}
+
+void FaultPlane::bump(std::uint64_t FaultPlaneStats::*counter) {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  ++(stats_.*counter);
 }
 
 std::uint8_t FaultPlane::drop_bit(FaultKind kind) {
@@ -79,7 +84,7 @@ void FaultPlane::install_drop_filter(std::size_t target) {
   auto filter = [this, target](net::Packet& packet, net::Interface&) {
     NodeTarget& node = nodes_[target];
     if (node.drop_mask != 0 && should_drop(node, packet)) {
-      ++stats_.messages_dropped;
+      bump(&FaultPlaneStats::messages_dropped);
       return node::Intercept::kConsumed;
     }
     return node::Intercept::kContinue;
@@ -98,7 +103,14 @@ void FaultPlane::load(const FaultSchedule& schedule) {
       throw std::out_of_range("FaultPlane: schedule targets unregistered " +
                               std::string(is_link ? "link" : "node"));
     }
-    (void)sim_.at(
+    // Node-targeted events run on the node's own shard (its executive is
+    // the shard view), so crash/reboot/drop windows mutate node state
+    // from the right worker. Link events stay on the plane's executive —
+    // shard 0 under sharding; link state is safe to flip from there
+    // (Link::up_ is atomic, and visibility skew is bounded by the
+    // lookahead window, see DESIGN.md §13).
+    sim::Executive& target_sim = is_link ? sim_ : nodes_[e.target].node->sim();
+    (void)target_sim.at(
         e.at, [this, e] { apply(e); }, sim::EventCategory::kFaultInjection);
   }
 }
@@ -119,23 +131,23 @@ void FaultPlane::apply(const FaultEvent& event) {
   switch (event.kind) {
     case FaultKind::kLinkFail:
       links_.at(event.target)->fail();
-      ++stats_.link_failures;
+      bump(&FaultPlaneStats::link_failures);
       schedule_inverse(FaultKind::kLinkRecover);
       break;
     case FaultKind::kLinkRecover:
       links_.at(event.target)->recover();
-      ++stats_.link_recoveries;
+      bump(&FaultPlaneStats::link_recoveries);
       break;
     case FaultKind::kLinkImpair:
       links_.at(event.target)->set_impairments(event.impairments, rng_);
       impaired_.at(event.target) = true;
-      ++stats_.impairment_bursts;
+      bump(&FaultPlaneStats::impairment_bursts);
       schedule_inverse(FaultKind::kLinkClear);
       break;
     case FaultKind::kLinkClear:
       links_.at(event.target)->clear_impairments();
       impaired_.at(event.target) = false;
-      ++stats_.impairments_cleared;
+      bump(&FaultPlaneStats::impairments_cleared);
       break;
     case FaultKind::kNodeCrash: {
       NodeTarget& t = nodes_.at(event.target);
@@ -145,7 +157,7 @@ void FaultPlane::apply(const FaultEvent& event) {
       if (t.agent != nullptr && t.agent->home_store() != nullptr) {
         t.agent->home_store()->crash();
       }
-      ++stats_.node_crashes;
+      bump(&FaultPlaneStats::node_crashes);
       schedule_inverse(FaultKind::kNodeReboot);
       break;
     }
@@ -155,14 +167,14 @@ void FaultPlane::apply(const FaultEvent& event) {
       // The node model keeps configuration across a crash; the agent's
       // volatile protocol state (§5.2) is what a reboot loses.
       if (t.agent != nullptr) t.agent->reboot(event.preserve_persistent_state);
-      ++stats_.node_reboots;
+      bump(&FaultPlaneStats::node_reboots);
       break;
     }
     case FaultKind::kDiskReadError: {
       NodeTarget& t = nodes_.at(event.target);
       if (t.agent != nullptr && t.agent->home_store() != nullptr) {
         t.agent->home_store()->disk().arm_read_errors();
-        ++stats_.disk_error_windows;
+        bump(&FaultPlaneStats::disk_error_windows);
         schedule_inverse(FaultKind::kDiskReadClear);
       }
       break;
@@ -183,7 +195,7 @@ void FaultPlane::apply(const FaultEvent& event) {
         // Opening a window; it closes by clearing the same bit.
         t.drop_mask = static_cast<std::uint8_t>(t.drop_mask |
                                                 drop_bit(event.kind));
-        ++stats_.drop_windows_opened;
+        bump(&FaultPlaneStats::drop_windows_opened);
         const FaultKind kind = event.kind;
         const std::size_t target = event.target;
         (void)sim_.after(
@@ -192,14 +204,14 @@ void FaultPlane::apply(const FaultEvent& event) {
               nodes_[target].drop_mask =
                   static_cast<std::uint8_t>(nodes_[target].drop_mask &
                                             ~drop_bit(kind));
-              ++stats_.drop_windows_closed;
+              bump(&FaultPlaneStats::drop_windows_closed);
             },
             sim::EventCategory::kFaultInjection);
       } else {
         // Duration zero toggles the window shut.
         t.drop_mask = static_cast<std::uint8_t>(t.drop_mask &
                                                 ~drop_bit(event.kind));
-        ++stats_.drop_windows_closed;
+        bump(&FaultPlaneStats::drop_windows_closed);
       }
       break;
     }
@@ -214,6 +226,7 @@ void FaultPlane::apply(const FaultEvent& event) {
 }
 
 std::string FaultPlane::digest() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
   std::ostringstream out;
   out << "faultplane links=" << links_.size() << " nodes=" << nodes_.size()
       << " linkfail=" << stats_.link_failures

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,7 +19,7 @@
 #include "faults/fault_schedule.hpp"
 #include "net/link.hpp"
 #include "node/node.hpp"
-#include "sim/simulator.hpp"
+#include "sim/executive.hpp"
 #include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 
@@ -41,7 +42,7 @@ class FaultPlane {
  public:
   /// `seed` drives the impairment draws on links this plane impairs (the
   /// schedule itself carries all scheduling randomness).
-  FaultPlane(sim::Simulator& sim, std::uint64_t seed);
+  FaultPlane(sim::Executive& sim, std::uint64_t seed);
   ~FaultPlane();
 
   FaultPlane(const FaultPlane&) = delete;
@@ -68,6 +69,9 @@ class FaultPlane {
   /// event after `event.duration` when the duration is positive.
   void apply(const FaultEvent& event);
 
+  /// Read while quiesced (between runs): under a sharded executive the
+  /// counters are bumped from several shards and only settle at window
+  /// boundaries.
   [[nodiscard]] const FaultPlaneStats& stats() const { return stats_; }
   /// Deterministic one-line stats rendering for replay digests.
   [[nodiscard]] std::string digest() const;
@@ -92,15 +96,18 @@ class FaultPlane {
   };
 
   static std::uint8_t drop_bit(FaultKind kind);
+  void bump(std::uint64_t FaultPlaneStats::*counter);
   void install_drop_filter(std::size_t target);
   [[nodiscard]] bool should_drop(const NodeTarget& t,
                                  const net::Packet& packet) const;
 
-  sim::Simulator& sim_;
+  sim::Executive& sim_;
   util::Rng rng_;
   std::vector<net::Link*> links_;
   std::vector<bool> impaired_;  // impairments installed (rng_ borrowed)
   std::vector<NodeTarget> nodes_;
+  // Node-targeted events run on each node's shard; stats aggregate them.
+  mutable std::mutex stats_mu_;
   FaultPlaneStats stats_;
   telemetry::TraceCollector* trace_ = nullptr;
 };

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "net/link.hpp"
-#include "sim/simulator.hpp"
+#include "sim/time.hpp"
 #include "util/rng.hpp"
 
 namespace mhrp::faults {

@@ -50,6 +50,12 @@ class Interface {
   [[nodiscard]] Link* link() const { return link_; }
   [[nodiscard]] bool attached() const { return link_ != nullptr; }
 
+  /// The executive shard of the owning node (0 single-threaded). Links
+  /// use this to decide whether a delivery is shard-local or must travel
+  /// as a cross-shard message. Set by Node::add_interface.
+  [[nodiscard]] std::uint32_t shard() const { return shard_; }
+  void set_shard(std::uint32_t shard) { shard_ = shard; }
+
   /// Transmit a frame onto the attached link. Dropped silently when
   /// detached (a radio out of range of any cell).
   void send(Frame frame);
@@ -66,6 +72,7 @@ class Interface {
   IpAddress ip_;
   int prefix_length_ = 24;
   Link* link_ = nullptr;
+  std::uint32_t shard_ = 0;
 };
 
 }  // namespace mhrp::net

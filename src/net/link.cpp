@@ -4,7 +4,7 @@
 
 namespace mhrp::net {
 
-Link::Link(sim::Simulator& sim, std::string name, sim::Time latency,
+Link::Link(sim::Executive& sim, std::string name, sim::Time latency,
            std::uint64_t bandwidth_bps)
     : sim_(sim),
       name_(std::move(name)),
@@ -36,14 +36,12 @@ bool Link::has_member(const Interface& iface) const {
 }
 
 void Link::fail() {
-  if (!up_) return;
-  up_ = false;
+  if (!up_.exchange(false, std::memory_order_relaxed)) return;
   if (observer_ != nullptr) observer_->on_state_changed(*this, false, sim_.now());
 }
 
 void Link::recover() {
-  if (up_) return;
-  up_ = true;
+  if (up_.exchange(true, std::memory_order_relaxed)) return;
   if (observer_ != nullptr) observer_->on_state_changed(*this, true, sim_.now());
 }
 
@@ -72,34 +70,45 @@ MHRP_HOT_PATH sim::Time Link::delay_for(std::size_t frame_bytes) const {
 // detached mid-flight (a radio that left the cell) must not hear it —
 // otherwise a mobile host could receive a stale agent advertisement from
 // the cell it just left and register with an unreachable agent.
+//
+// A member on another shard receives its frame as a cross-shard post()
+// to its own shard — the link's latency is what funds the executive's
+// lookahead, so the post always lands at or beyond the window boundary.
 MHRP_HOT_PATH void Link::schedule_delivery(Interface* member, Frame frame,
                                            sim::Time delay) {
-  (void)sim_.after(
-      delay,
-      [this, member, frame = std::move(frame)]() mutable {
-        if (!up_) {
-          ++frames_dropped_down_;
-          return;
-        }
-        if (has_member(*member)) member->deliver(std::move(frame));
-      },
-      sim::EventCategory::kLinkDelivery);
+  auto deliver = [this, member, frame = std::move(frame)]() mutable {
+    if (!is_up()) {
+      frames_dropped_down_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (has_member(*member)) member->deliver(std::move(frame));
+  };
+  const auto target = member->shard();
+  if (target == sim_.shard_id()) {
+    (void)sim_.after(delay, std::move(deliver),
+                     sim::EventCategory::kLinkDelivery);
+  } else {
+    sim_.post(target, sim_.now() + delay, std::move(deliver),
+              sim::EventCategory::kLinkDelivery);
+  }
 }
 
 MHRP_HOT_PATH void Link::transmit(const Interface& from, Frame frame) {
-  if (!up_) {
-    ++frames_dropped_down_;
+  if (!is_up()) {
+    frames_dropped_down_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // Impairment draw order (loss, jitter, reorder, duplicate) is fixed:
-  // it is part of the deterministic-replay contract.
+  // it is part of the deterministic-replay contract. (Impairments share
+  // one RNG, so an impaired link must be shard-local; the scenario layer
+  // enforces that.)
   if (rng_ != nullptr && impairments_.loss > 0.0 &&
       rng_->chance(impairments_.loss)) {
-    ++frames_dropped_loss_;
+    frames_dropped_loss_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ++frames_carried_;
-  bytes_carried_ += frame.wire_size();
+  frames_carried_.fetch_add(1, std::memory_order_relaxed);
+  bytes_carried_.fetch_add(frame.wire_size(), std::memory_order_relaxed);
   if (observer_ != nullptr) observer_->on_transmit(*this, frame, sim_.now());
   if (frame.is_ip()) {
     frame.packet().note_wire_crossing(frame.packet().wire_size());
@@ -117,7 +126,7 @@ MHRP_HOT_PATH void Link::transmit(const Interface& from, Frame frame) {
     duplicate =
         impairments_.duplicate > 0.0 && rng_->chance(impairments_.duplicate);
   }
-  if (duplicate) ++frames_duplicated_;
+  if (duplicate) frames_duplicated_.fetch_add(1, std::memory_order_relaxed);
 
   if (frame.dst.is_broadcast()) {
     // Every other member gets its own copy of the frame, except the last

@@ -5,13 +5,14 @@
 // every member for the broadcast address.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "net/frame.hpp"
 #include "net/interface.hpp"
-#include "sim/simulator.hpp"
+#include "sim/executive.hpp"
 #include "util/annotations.hpp"
 #include "util/rng.hpp"
 
@@ -72,8 +73,13 @@ class LinkObserver {
 
 class Link {
  public:
-  /// `bandwidth_bps` of 0 means infinite (no serialization delay).
-  Link(sim::Simulator& sim, std::string name, sim::Time latency,
+  /// `bandwidth_bps` of 0 means infinite (no serialization delay). `sim`
+  /// is the DRIVER executive (for a sharded run, the ShardedExecutive
+  /// itself, not a shard view): a backbone link is transmitted onto from
+  /// both endpoint shards, and the driver routes each call through the
+  /// calling shard's clock and queue. A delivery whose receiving
+  /// interface lives on another shard travels as a cross-shard post().
+  Link(sim::Executive& sim, std::string name, sim::Time latency,
        std::uint64_t bandwidth_bps = 0);
 
   Link(const Link&) = delete;
@@ -100,7 +106,9 @@ class Link {
   void fail();
   /// Bring the link back up. Idempotent.
   void recover();
-  [[nodiscard]] bool is_up() const { return up_; }
+  [[nodiscard]] bool is_up() const {
+    return up_.load(std::memory_order_relaxed);
+  }
 
   /// Install a stochastic impairment model. `rng` must outlive this link
   /// or be released with clear_impairments() first.
@@ -126,19 +134,25 @@ class Link {
   }
   [[nodiscard]] LinkObserver* observer() const { return observer_; }
 
-  // Traffic counters for metrics.
-  [[nodiscard]] std::uint64_t frames_carried() const { return frames_carried_; }
-  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_carried_; }
+  // Traffic counters for metrics. Relaxed atomics: a backbone link is
+  // transmitted onto from both endpoint shards concurrently, and counters
+  // are only ever read for reporting (snapshots happen quiesced).
+  [[nodiscard]] std::uint64_t frames_carried() const {
+    return frames_carried_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_carried() const {
+    return bytes_carried_.load(std::memory_order_relaxed);
+  }
   /// Frames lost to a down link: sent while down, or in flight when it
   /// failed ("packets lost per outage" feeds on this).
   [[nodiscard]] std::uint64_t frames_dropped_down() const {
-    return frames_dropped_down_;
+    return frames_dropped_down_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t frames_dropped_loss() const {
-    return frames_dropped_loss_;
+    return frames_dropped_loss_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t frames_duplicated() const {
-    return frames_duplicated_;
+    return frames_duplicated_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -147,20 +161,23 @@ class Link {
   MHRP_HOT_PATH void schedule_delivery(Interface* member, Frame frame,
                                        sim::Time delay);
 
-  sim::Simulator& sim_;
+  sim::Executive& sim_;
   std::string name_;
   sim::Time latency_;
   std::uint64_t bandwidth_bps_;
+  // Membership is setup-time for cross-shard links; only shard-local
+  // links (wireless cells) may attach/detach mid-run. The scenario layer
+  // owns that invariant (DESIGN.md §13).
   std::vector<Interface*> members_;
   LinkImpairments impairments_;
   util::Rng* rng_ = nullptr;
   LinkObserver* observer_ = nullptr;
-  bool up_ = true;
-  std::uint64_t frames_carried_ = 0;
-  std::uint64_t bytes_carried_ = 0;
-  std::uint64_t frames_dropped_down_ = 0;
-  std::uint64_t frames_dropped_loss_ = 0;
-  std::uint64_t frames_duplicated_ = 0;
+  std::atomic<bool> up_{true};
+  std::atomic<std::uint64_t> frames_carried_{0};
+  std::atomic<std::uint64_t> bytes_carried_{0};
+  std::atomic<std::uint64_t> frames_dropped_down_{0};
+  std::atomic<std::uint64_t> frames_dropped_loss_{0};
+  std::atomic<std::uint64_t> frames_duplicated_{0};
 };
 
 }  // namespace mhrp::net

@@ -1,14 +1,19 @@
 #include "net/packet.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/checksum.hpp"
 
 namespace mhrp::net {
 
+// Atomic: packets are constructed concurrently by shard workers under
+// the sharded executive. Ids are process-unique debugging labels, never
+// part of a replay digest, so cross-shard assignment order is free to
+// vary between runs.
 std::uint64_t Packet::next_id() {
-  static std::uint64_t counter = 0;
-  return ++counter;
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 std::vector<std::uint8_t> Packet::serialize() const {

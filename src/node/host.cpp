@@ -9,7 +9,7 @@ std::uint16_t next_ident() {
 }
 }  // namespace
 
-Host::Host(sim::Simulator& sim, std::string name)
+Host::Host(sim::Executive& sim, std::string name)
     : Node(sim, std::move(name)), ping_ident_(next_ident()) {
   add_icmp_handler([this](const net::IcmpMessage& msg,
                           const net::IpHeader& header, net::Interface& iface) {

@@ -12,7 +12,7 @@ namespace mhrp::node {
 
 class Host : public Node {
  public:
-  Host(sim::Simulator& sim, std::string name);
+  Host(sim::Executive& sim, std::string name);
 
   /// Result of one ping attempt.
   struct PingResult {

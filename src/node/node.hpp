@@ -34,7 +34,7 @@
 #include "net/protocols.hpp"
 #include "net/udp.hpp"
 #include "routing/routing_table.hpp"
-#include "sim/simulator.hpp"
+#include "sim/executive.hpp"
 
 namespace mhrp::node {
 
@@ -61,13 +61,21 @@ class Node : public net::FrameSink {
   /// builds the MHRP header itself (paper §4.1).
   using EgressHook = std::function<void(net::Packet&)>;
 
-  Node(sim::Simulator& sim, std::string name);
+  Node(sim::Executive& sim, std::string name);
   virtual ~Node() = default;
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Executive& sim() { return *sim_; }
+  /// Rebind this node to another executive (a shard view). Only legal
+  /// before the node has armed timers or scheduled events — i.e. at
+  /// topology-construction time (Topology::assign_shard). Re-pins any
+  /// already-added interfaces to the new executive's shard.
+  void rebind_executive(sim::Executive& sim) {
+    sim_ = &sim;
+    for (auto& iface : interfaces_) iface->set_shard(sim.shard_id());
+  }
   [[nodiscard]] const std::string& name() const { return name_; }
 
   // ---- Interfaces & addressing ----
@@ -255,7 +263,7 @@ class Node : public net::FrameSink {
   void arp_retry(net::Interface& iface, net::IpAddress next_hop);
   InterfaceState& state_of(net::Interface& iface);
 
-  sim::Simulator& sim_;
+  sim::Executive* sim_;
   std::string name_;
   std::vector<std::unique_ptr<net::Interface>> interfaces_;
   std::unordered_map<const net::Interface*, InterfaceState> iface_state_;

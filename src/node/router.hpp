@@ -9,7 +9,7 @@ namespace mhrp::node {
 
 class Router : public Node {
  public:
-  Router(sim::Simulator& sim, std::string name)
+  Router(sim::Executive& sim, std::string name)
       : Node(sim, std::move(name)) {
     set_forwarding(true);
   }

@@ -36,20 +36,63 @@ ScaleWorldOptions validate(ScaleWorldOptions o) {
   if (o.correspondents < 1 || o.correspondents > 200) {
     throw std::invalid_argument("ScaleWorld: correspondents out of range");
   }
+  if (o.shards < 0 || o.shards > 64) {
+    throw std::invalid_argument("ScaleWorld: shards out of range");
+  }
+  if (o.movement_regions == 0) o.movement_regions = std::max(1, o.shards);
+  if (o.movement_regions < 1 ||
+      (o.shards > 0 && o.movement_regions % o.shards != 0)) {
+    throw std::invalid_argument(
+        "ScaleWorld: movement_regions must be a positive multiple of shards");
+  }
+  if (o.movement_regions > o.foreign_agents ||
+      o.movement_regions > o.routers) {
+    throw std::invalid_argument(
+        "ScaleWorld: more movement regions than cells/routers");
+  }
+  if (o.shards > 0) {
+    // See DESIGN.md §13: trace and the profiler interleave wall-clock
+    // observations across workers; loss bursts draw from one shared RNG
+    // on links transmitted from several shards.
+    if (o.telemetry.trace || o.telemetry.profiler) {
+      throw std::invalid_argument(
+          "ScaleWorld: trace/profiler telemetry requires shards == 0");
+    }
+    if (o.chaos.loss_bursts_per_sec > 0) {
+      throw std::invalid_argument(
+          "ScaleWorld: chaos loss bursts require shards == 0");
+    }
+  }
   return o;
 }
 
 }  // namespace
 
 ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
-    : topo(opts.protocol.seed),
+    : topo(opts.protocol.seed,
+           static_cast<std::uint32_t>(std::max(0, opts.shards))),
       options(validate(opts)),
       instruments(options.telemetry) {
   const int n = options.routers;
+  const int regions = options.movement_regions;
+
+  // Placement: routers are cut into `regions` contiguous blocks, regions
+  // map evenly onto shards (movement_regions % shards == 0), and every
+  // cell, mobile, and correspondent lives on its hosting region's shard.
+  // Router 0 (the home site) falls in region 0 -> shard 0; the last
+  // router (the correspondent site) falls in the last region -> the last
+  // shard. Only backbone circuits ever cross shards.
+  auto region_of_router = [n, regions](int r) { return (r * regions) / n; };
+  auto shard_of_region = [this, regions](int g) {
+    return options.shards == 0
+               ? 0u
+               : static_cast<std::uint32_t>((g * options.shards) / regions);
+  };
 
   routers.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
-    routers.push_back(&topo.add_router("R" + std::to_string(r)));
+    routers.push_back(&topo.add_router("R" + std::to_string(r),
+                                       shard_of_region(region_of_router(r))));
   }
   home_router = routers.front();
 
@@ -87,8 +130,9 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
   auto& corr_lan = topo.add_link("corrLan", options.link_latency);
   topo.connect(*routers.back(), corr_lan, net::IpAddress(kCorrLanBase + 1),
                24);
+  corr_shard_ = shard_of_region(region_of_router(n - 1));
   for (int c = 0; c < options.correspondents; ++c) {
-    auto& host = topo.add_host("C" + std::to_string(c));
+    auto& host = topo.add_host("C" + std::to_string(c), corr_shard_);
     topo.connect(host, corr_lan,
                  net::IpAddress(kCorrLanBase + 10 + static_cast<std::uint32_t>(c)),
                  24);
@@ -97,6 +141,7 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
 
   // Foreign sites: F routers spread evenly over the backbone (router 0 is
   // the home site and never hosts a foreign agent), each with a cell.
+  region_cells_.resize(static_cast<std::size_t>(regions));
   std::vector<net::Interface*> fa_cell_ifaces;
   for (int j = 0; j < options.foreign_agents; ++j) {
     const int idx = 1 + (j * (n - 1)) / options.foreign_agents;
@@ -110,15 +155,28 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
     fa_routers.push_back(&r);
     cells.push_back(&cell);
     fa_cell_ifaces.push_back(&cell_iface);
+    cell_shard_.push_back(shard_of_region(region_of_router(idx)));
+    region_cells_[static_cast<std::size_t>(region_of_router(idx))].push_back(
+        &cell);
+  }
+  for (int g = 0; g < regions; ++g) {
+    if (region_cells_[static_cast<std::size_t>(g)].empty()) {
+      throw std::invalid_argument(
+          "ScaleWorld: movement region without a cell; lower "
+          "movement_regions");
+    }
   }
 
-  // Mobile hosts, homed on the home LAN, initially detached.
+  // Mobile hosts, homed on the home LAN, initially detached. Mobile i
+  // roams region i % movement_regions and lives on that region's shard.
   for (int i = 0; i < options.mobile_hosts; ++i) {
     core::MobileHostConfig config;
     config.home_agent = net::IpAddress(kHomeLanBase + 1);
     config.update_min_interval = options.protocol.update_min_interval;
-    mobiles.push_back(&topo.add_mobile_host("M" + std::to_string(i),
-                                            mobile_address(i), 16, config));
+    const std::uint32_t shard = shard_of_region(i % regions);
+    mobile_shard_.push_back(shard);
+    mobiles.push_back(&topo.add_mobile_host(
+        "M" + std::to_string(i), mobile_address(i), 16, config, shard));
   }
 
   for (const auto& node : topo.nodes()) {
@@ -139,8 +197,8 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
   if (options.protocol.store.enabled) {
     // Attach the disk before provisioning so every row ever created is
     // in the log from the start.
-    ha_store =
-        std::make_unique<store::HomeStore>(topo.sim(), options.protocol.store);
+    ha_store = std::make_unique<store::HomeStore>(home_router->sim(),
+                                                  options.protocol.store);
     ha->attach_store(*ha_store);
   }
   for (int i = 0; i < options.mobile_hosts; ++i) {
@@ -173,7 +231,16 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
     corr_agents.push_back(std::make_unique<core::MhrpAgent>(*host, ca_config));
   }
 
-  audit::auto_attach(topo);
+  // The audit layer's global observer reads every link from every shard;
+  // it stays a single-threaded instrument.
+  if (options.shards == 0) audit::auto_attach(topo);
+
+  if (sim::ShardedExecutive* sharded = topo.sharded_executive()) {
+    // Lookahead = the narrowest latency any cross-shard frame pays, the
+    // widest window the placement can fund (DESIGN.md §13).
+    const sim::Time lookahead = topo.min_cross_shard_latency();
+    if (lookahead > 0) sharded->set_lookahead(lookahead);
+  }
 
   bind_instruments();
   if (telemetry::TraceCollector* trace = instruments.trace()) {
@@ -230,6 +297,10 @@ void ScaleWorld::start() {
   started_ = true;
 
   attach_times_.assign(mobiles.size(), sim::Time(-1));
+  const auto lanes = static_cast<std::size_t>(topo.shard_count());
+  handoff_lanes_.assign(lanes, {});
+  recovery_lanes_.assign(lanes, {});
+  outage_loss_lanes_.assign(lanes, {});
   for (std::size_t i = 0; i < mobiles.size(); ++i) {
     core::MobileHost* m = mobiles[i];
     m->on_attached = [this, i] { attach_times_[i] = topo.sim().now(); };
@@ -238,8 +309,7 @@ void ScaleWorld::start() {
       if (attach_times_[i] < 0) return;
       const double latency =
           sim::to_seconds(topo.sim().now() - attach_times_[i]);
-      handoff_latencies_.push_back(latency);
-      handoff_latency_h_->record(latency);
+      record_series(handoff_lanes_, static_cast<std::uint32_t>(i), latency);
       if (telemetry::TraceCollector* trace = instruments.trace()) {
         trace->span(telemetry::TraceCategory::kProtocol, "handoff.rebind",
                     attach_times_[i], topo.sim().now(), "mobile",
@@ -251,7 +321,8 @@ void ScaleWorld::start() {
     // Per-mobile movement, seeded from the world RNG in construction
     // order (deterministic across identically-built worlds).
     schedules_.push_back(std::make_unique<MovementSchedule>(
-        *m, std::vector<net::Link*>(cells.begin(), cells.end()),
+        *m, region_cells_[static_cast<std::size_t>(
+                static_cast<int>(i) % options.movement_regions)],
         options.mean_dwell, topo.rng().fork()));
     recorders_.push_back(std::make_unique<FlowRecorder>(*m));
 
@@ -269,12 +340,14 @@ void ScaleWorld::start() {
     const sim::Time offset =
         spread * static_cast<sim::Time>(i) /
         static_cast<sim::Time>(std::max<std::size_t>(mobiles.size(), 1));
-    (void)topo.sim().after(
-        offset,
-        [this, i] {
-          schedules_[i]->start();
-          flows_[i]->start();
-        },
+    // Two posts, not one event: the movement schedule must start on the
+    // mobile's shard and the CBR flow on its correspondent's shard.
+    const sim::Time when = topo.sim().now() + offset;
+    topo.sim().post(
+        mobile_shard_[i], when, [this, i] { schedules_[i]->start(); },
+        sim::EventCategory::kMovement);
+    topo.sim().post(
+        corr_shard_, when, [this, i] { flows_[i]->start(); },
         sim::EventCategory::kMovement);
   }
 
@@ -341,6 +414,10 @@ void ScaleWorld::arm_chaos() {
   outages_.assign(mobiles.size(), Outage{});
   ha_bindings_.assign(mobiles.size(), net::IpAddress());
   binding_changed_at_.assign(mobiles.size(), 0);
+  // Staleness bookkeeping and the binding oracle read per-mobile outage
+  // state from the HA's shard; sharded runs skip both (the auditor is
+  // not attached there either), so binding_staleness_ stays empty.
+  if (options.shards != 0) return;
   ha->on_binding_changed = [this](net::IpAddress mobile, net::IpAddress fa) {
     const std::uint32_t raw = mobile.raw();
     if (raw < kMobileBase || raw >= kMobileBase + mobiles.size()) return;
@@ -412,11 +489,16 @@ void ScaleWorld::note_fault(const faults::FaultEvent& event) {
       const std::uint32_t raw = mobile_host.raw();
       if (raw >= kMobileBase && raw < kMobileBase + mobiles.size()) {
         const auto i = static_cast<std::size_t>(raw - kMobileBase);
-        Outage& o = outages_[i];
-        if (o.recovery_start < 0) {
-          o.recovery_start = now;
-          o.received_at_start = recorders_[i]->total().received;
-          if (o.staleness_start < 0) o.staleness_start = now;
+        if (mobile_shard_[i] == topo.sim().shard_id()) {
+          open_outage_for_mobile(i, now);
+        } else {
+          // The mobile's outage clock lives on its shard; hop there at
+          // the earliest legal cross-shard time (now + lookahead).
+          const sim::Time w = topo.sharded_executive()->lookahead();
+          topo.sim().post(
+              mobile_shard_[i], now + w,
+              [this, i] { open_outage_for_mobile(i, topo.sim().now()); },
+              sim::EventCategory::kFaultInjection);
         }
       }
     }
@@ -434,22 +516,44 @@ void ScaleWorld::note_fault(const faults::FaultEvent& event) {
   // aggregate plane stats record them.
   if (event.kind == FaultKind::kNodeCrash ||
       (event.kind == FaultKind::kLinkFail && event.target < cells.size())) {
-    open_outages_for(net::IpAddress(
-        kCellBase + static_cast<std::uint32_t>(event.target) * 256 + 1));
+    const std::size_t site = event.target;
+    const net::IpAddress agent(
+        kCellBase + static_cast<std::uint32_t>(site) * 256 + 1);
+    // FA crashes already execute on the site's shard; cell link faults
+    // execute on the plane's shard (shard 0), so hop when they differ.
+    if (options.shards == 0 || cell_shard_[site] == topo.sim().shard_id()) {
+      open_outages_for(agent);
+    } else {
+      const sim::Time w = topo.sharded_executive()->lookahead();
+      topo.sim().post(
+          cell_shard_[site], topo.sim().now() + w,
+          [this, agent] { open_outages_for(agent); },
+          sim::EventCategory::kFaultInjection);
+    }
   }
 }
 
 void ScaleWorld::open_outages_for(net::IpAddress foreign_agent) {
   const sim::Time now = topo.sim().now();
+  // Runs on the orphaned cell's shard, and every mobile that can be
+  // registered there lives on that shard too (mobiles roam only their
+  // own region's cells). The filter is a no-op serial and keeps worker
+  // shards off foreign mobiles' state sharded.
+  const std::uint32_t self = topo.sim().shard_id();
   for (std::size_t i = 0; i < mobiles.size(); ++i) {
+    if (mobile_shard_[i] != self) continue;
     if (mobiles[i]->state() != core::MobileHost::State::kForeign) continue;
     if (mobiles[i]->current_agent() != foreign_agent) continue;
-    Outage& o = outages_[i];
-    if (o.recovery_start >= 0) continue;  // already inside an outage
-    o.recovery_start = now;
-    o.received_at_start = recorders_[i]->total().received;
-    if (o.staleness_start < 0) o.staleness_start = now;
+    open_outage_for_mobile(i, now);
   }
+}
+
+void ScaleWorld::open_outage_for_mobile(std::size_t i, sim::Time now) {
+  Outage& o = outages_[i];
+  if (o.recovery_start >= 0) return;  // already inside an outage
+  o.recovery_start = now;
+  o.received_at_start = recorders_[i]->total().received;
+  if (o.staleness_start < 0) o.staleness_start = now;
 }
 
 void ScaleWorld::close_recovery(std::size_t i) {
@@ -458,14 +562,12 @@ void ScaleWorld::close_recovery(std::size_t i) {
   if (o.recovery_start < 0) return;
   const double elapsed =
       sim::to_seconds(topo.sim().now() - o.recovery_start);
-  recovery_times_.push_back(elapsed);
-  recovery_time_h_->record(elapsed);
+  record_series(recovery_lanes_, static_cast<std::uint32_t>(i), elapsed);
   const double expected = elapsed / sim::to_seconds(options.cbr_interval);
   const double received = static_cast<double>(
       recorders_[i]->total().received - o.received_at_start);
   const double loss = std::max(0.0, expected - received);
-  outage_losses_.push_back(loss);
-  outage_loss_h_->record(loss);
+  record_series(outage_loss_lanes_, static_cast<std::uint32_t>(i), loss);
   o.recovery_start = -1;
 }
 
@@ -513,7 +615,61 @@ std::size_t ScaleWorld::busiest_node_state() const {
   return busiest;
 }
 
+std::vector<ScaleWorld::SeriesEntry>& ScaleWorld::lane(
+    SeriesLanes& lanes) const {
+  return lanes[topo.sim().shard_id()];
+}
+
+void ScaleWorld::record_series(SeriesLanes& lanes, std::uint32_t idx,
+                               double v) {
+  lane(lanes).push_back({topo.sim().now(), idx, v});
+}
+
+std::vector<double> ScaleWorld::merge_lanes(const SeriesLanes& lanes) {
+  std::vector<SeriesEntry> all;
+  std::size_t total = 0;
+  for (const auto& l : lanes) total += l.size();
+  all.reserve(total);
+  for (const auto& l : lanes) all.insert(all.end(), l.begin(), l.end());
+  // (time, mobile) is a total order over each series — one entry per
+  // mobile per event time — so the merged view is canonical: the same
+  // protocol history renders identically at every shard count.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SeriesEntry& a, const SeriesEntry& b) {
+                     return a.t != b.t ? a.t < b.t : a.idx < b.idx;
+                   });
+  std::vector<double> out;
+  out.reserve(all.size());
+  for (const SeriesEntry& e : all) out.push_back(e.v);
+  return out;
+}
+
+const std::vector<double>& ScaleWorld::handoff_latencies() const {
+  handoff_merged_ = merge_lanes(handoff_lanes_);
+  return handoff_merged_;
+}
+
+const std::vector<double>& ScaleWorld::recovery_times() const {
+  recovery_merged_ = merge_lanes(recovery_lanes_);
+  return recovery_merged_;
+}
+
+const std::vector<double>& ScaleWorld::outage_losses() const {
+  outage_loss_merged_ = merge_lanes(outage_loss_lanes_);
+  return outage_loss_merged_;
+}
+
+void ScaleWorld::refresh_series_metrics() const {
+  handoff_latency_h_->reset();
+  for (double v : handoff_latencies()) handoff_latency_h_->record(v);
+  recovery_time_h_->reset();
+  for (double v : recovery_times()) recovery_time_h_->record(v);
+  outage_loss_h_->reset();
+  for (double v : outage_losses()) outage_loss_h_->record(v);
+}
+
 std::string ScaleWorld::metrics_digest() const {
+  refresh_series_metrics();
   std::ostringstream out;
   out << "scaleworld n=" << options.routers << " f=" << options.foreign_agents
       << " m=" << options.mobile_hosts << " seed=" << options.protocol.seed
@@ -541,12 +697,12 @@ std::string ScaleWorld::metrics_digest() const {
     }
     out << "\n";
   };
-  series("handoffs", handoff_latencies_);
+  series("handoffs", handoff_latencies());
 
   if (fault_plane_) {
     out << fault_plane_->digest();
-    series("recovery", recovery_times_);
-    series("outage_loss", outage_losses_);
+    series("recovery", recovery_times());
+    series("outage_loss", outage_losses());
     series("staleness", binding_staleness_);
     series("ha_lost_bindings", ha_lost_bindings_);
     series("ha_recovery", ha_recovery_times_);
@@ -555,6 +711,7 @@ std::string ScaleWorld::metrics_digest() const {
 }
 
 std::string ScaleWorld::metrics_json() const {
+  refresh_series_metrics();
   std::ostringstream out;
   telemetry::JsonWriter json(out);
   json.begin_object();
@@ -589,6 +746,7 @@ std::string ScaleWorld::metrics_json() const {
 }
 
 std::string ScaleWorld::metrics_csv() const {
+  refresh_series_metrics();
   return instruments.registry.snapshot().to_csv();
 }
 

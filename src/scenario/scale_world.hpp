@@ -62,6 +62,22 @@ struct ScaleWorldOptions {
   sim::Time mean_dwell = sim::seconds(5);  // per-cell dwell (exponential)
   sim::Time cbr_interval = sim::millis(200);
   std::size_t cbr_payload = 64;
+  /// Executive sharding. 0 (default) = the single-threaded Simulator;
+  /// >= 1 = a ShardedExecutive with that many worker threads. Router
+  /// regions, their cells, and the mobiles roaming them are placed
+  /// round-robin-free (contiguous region blocks) so every wireless cell
+  /// is shard-local and only backbone circuits cross shards. Replay
+  /// digests are byte-identical for a FIXED shard count; shards == 1
+  /// matches the single-threaded digest exactly. Sharded runs refuse
+  /// trace/profiler telemetry, chaos loss bursts, and the audit layer
+  /// (DESIGN.md §13).
+  int shards = 0;
+  /// Movement partitioning: mobiles are split over this many regions and
+  /// each roams only its region's cells. 0 = one region per shard (one
+  /// global region when single-threaded). Must be a positive multiple of
+  /// `shards`; pin it explicitly (e.g. 8) to compare digests across
+  /// shard counts, since the region count changes where mobiles roam.
+  int movement_regions = 0;
   /// Protocol knobs shared with every other scenario world.
   ProtocolOptions protocol;
   /// Fault injection (off by default; see ChaosOptions).
@@ -121,10 +137,11 @@ class ScaleWorld {
   ScaleRunStats run_for(sim::Time duration);
 
   /// Completed handoff latencies (seconds of simulated time from
-  /// attach_to() to registration-complete), in completion order.
-  [[nodiscard]] const std::vector<double>& handoff_latencies() const {
-    return handoff_latencies_;
-  }
+  /// attach_to() to registration-complete), in canonical (time, mobile)
+  /// order — recorded per shard and merged on a shard-count-independent
+  /// key, so the same measurements appear in the same order however many
+  /// workers produced them.
+  [[nodiscard]] const std::vector<double>& handoff_latencies() const;
 
   // ---- Chaos (populated only when options.chaos.enabled) ----
 
@@ -133,15 +150,12 @@ class ScaleWorld {
     return fault_plane_.get();
   }
   /// Seconds from each FA-crash / cell-partition outage to the affected
-  /// mobile's next completed registration, in completion order.
-  [[nodiscard]] const std::vector<double>& recovery_times() const {
-    return recovery_times_;
-  }
+  /// mobile's next completed registration, in canonical (time, mobile)
+  /// order.
+  [[nodiscard]] const std::vector<double>& recovery_times() const;
   /// CBR packets lost per recovered outage (expected minus received
   /// while the outage was open), aligned with recovery_times().
-  [[nodiscard]] const std::vector<double>& outage_losses() const {
-    return outage_losses_;
-  }
+  [[nodiscard]] const std::vector<double>& outage_losses() const;
   /// Seconds each outage left the home agent forwarding toward a dead
   /// binding, measured from outage start to the HA's binding change.
   [[nodiscard]] const std::vector<double>& binding_staleness() const {
@@ -200,21 +214,52 @@ class ScaleWorld {
     std::uint64_t received_at_start = 0;
   };
 
+  /// One measurement in a per-shard series lane: simulated time, a
+  /// shard-count-independent tiebreaker (the mobile index), the value.
+  /// Each lane is written only by its own shard's worker; merging sorts
+  /// on (t, idx), a canonical order no interleaving can perturb.
+  struct SeriesEntry {
+    sim::Time t = 0;
+    std::uint32_t idx = 0;
+    double v = 0.0;
+  };
+  using SeriesLanes = std::vector<std::vector<SeriesEntry>>;
+
   void arm_chaos();
   void bind_instruments();
   void note_fault(const faults::FaultEvent& event);
   void open_outages_for(net::IpAddress foreign_agent);
+  /// Start mobile i's outage clocks. Must run on the mobile's shard.
+  void open_outage_for_mobile(std::size_t i, sim::Time now);
   void close_recovery(std::size_t i);
+  /// The calling shard's lane (the executive resolves the worker).
+  [[nodiscard]] std::vector<SeriesEntry>& lane(SeriesLanes& lanes) const;
+  void record_series(SeriesLanes& lanes, std::uint32_t idx, double v);
+  [[nodiscard]] static std::vector<double> merge_lanes(
+      const SeriesLanes& lanes);
+  /// Rebuild the lane-backed registry histograms from the canonically
+  /// merged series. Called before every snapshot; live recording from
+  /// worker shards would race and its float-sum order would depend on
+  /// the interleaving.
+  void refresh_series_metrics() const;
 
   std::vector<std::unique_ptr<CbrFlow>> flows_;
   std::vector<std::unique_ptr<MovementSchedule>> schedules_;
   std::vector<std::unique_ptr<FlowRecorder>> recorders_;
   std::vector<sim::Time> attach_times_;  // per mobile, last attach_to()
-  std::vector<double> handoff_latencies_;
+  std::vector<std::uint32_t> mobile_shard_;  // per mobile
+  std::vector<std::uint32_t> cell_shard_;    // per cell / foreign site
+  std::vector<std::vector<net::Link*>> region_cells_;  // per movement region
+  std::uint32_t corr_shard_ = 0;
+  SeriesLanes handoff_lanes_;
+  mutable std::vector<double> handoff_merged_;
   std::unique_ptr<faults::FaultPlane> fault_plane_;
-  std::vector<Outage> outages_;  // per mobile
-  std::vector<double> recovery_times_;
-  std::vector<double> outage_losses_;
+  std::vector<Outage> outages_;  // per mobile, touched on its shard only
+  SeriesLanes recovery_lanes_;
+  SeriesLanes outage_loss_lanes_;
+  mutable std::vector<double> recovery_merged_;
+  mutable std::vector<double> outage_loss_merged_;
+  // HA-side series: written only from the home agent's shard (shard 0).
   std::vector<double> binding_staleness_;
   std::size_t ha_target_ = static_cast<std::size_t>(-1);  // fault-plane index
   std::vector<std::pair<net::IpAddress, net::IpAddress>> ha_precrash_bindings_;

@@ -4,8 +4,19 @@
 
 namespace mhrp::scenario {
 
-node::Router& Topology::add_router(const std::string& name) {
-  auto router = std::make_unique<node::Router>(sim_, name);
+sim::Executive& Topology::executive_for(std::uint32_t shard) {
+  if (sharded_ == nullptr) {
+    if (shard != 0) {
+      throw std::out_of_range("Topology: shard out of range (single-threaded)");
+    }
+    return *sim_;
+  }
+  return sharded_->shard_view(shard);
+}
+
+node::Router& Topology::add_router(const std::string& name,
+                                   std::uint32_t shard) {
+  auto router = std::make_unique<node::Router>(executive_for(shard), name);
   node::Router& ref = *router;
   nodes_.push_back(std::move(router));
   is_mobile_.push_back(false);
@@ -14,8 +25,9 @@ node::Router& Topology::add_router(const std::string& name) {
   return ref;
 }
 
-node::Host& Topology::add_host(const std::string& name) {
-  auto host = std::make_unique<node::Host>(sim_, name);
+node::Host& Topology::add_host(const std::string& name,
+                               std::uint32_t shard) {
+  auto host = std::make_unique<node::Host>(executive_for(shard), name);
   node::Host& ref = *host;
   nodes_.push_back(std::move(host));
   is_mobile_.push_back(false);
@@ -27,9 +39,11 @@ node::Host& Topology::add_host(const std::string& name) {
 core::MobileHost& Topology::add_mobile_host(const std::string& name,
                                             net::IpAddress home_ip,
                                             int home_prefix_length,
-                                            core::MobileHostConfig config) {
-  auto mh = std::make_unique<core::MobileHost>(sim_, name, home_ip,
-                                               home_prefix_length, config);
+                                            core::MobileHostConfig config,
+                                            std::uint32_t shard) {
+  auto mh = std::make_unique<core::MobileHost>(executive_for(shard), name,
+                                               home_ip, home_prefix_length,
+                                               config);
   core::MobileHost& ref = *mh;
   nodes_.push_back(std::move(mh));
   is_mobile_.push_back(true);
@@ -47,24 +61,45 @@ node::Node& Topology::adopt(std::unique_ptr<node::Node> node) {
   return ref;
 }
 
-std::size_t Topology::add_node_added_hook(NodeAddedHook hook) {
-  node_added_hooks_.push_back(std::move(hook));
-  return node_added_hooks_.size() - 1;
+HookHandle Topology::add_node_added_hook(NodeAddedHook hook) {
+  std::size_t slot;
+  if (!free_hook_slots_.empty()) {
+    slot = free_hook_slots_.back();
+    free_hook_slots_.pop_back();
+  } else {
+    slot = node_added_hooks_.size();
+    node_added_hooks_.emplace_back();
+  }
+  node_added_hooks_[slot].hook = std::move(hook);
+  return HookHandle(this, slot, node_added_hooks_[slot].generation);
 }
 
-void Topology::remove_node_added_hook(std::size_t token) {
-  if (token < node_added_hooks_.size()) node_added_hooks_[token] = nullptr;
+void HookHandle::remove() {
+  if (topo_ == nullptr) return;
+  Topology* topo = std::exchange(topo_, nullptr);
+  if (slot_ >= topo->node_added_hooks_.size()) return;
+  Topology::HookSlot& entry = topo->node_added_hooks_[slot_];
+  if (entry.generation != generation_ || !entry.hook) return;
+  entry.hook = nullptr;
+  ++entry.generation;  // any other handle naming this slot is now stale
+  topo->free_hook_slots_.push_back(slot_);
+}
+
+bool HookHandle::active() const {
+  return topo_ != nullptr && slot_ < topo_->node_added_hooks_.size() &&
+         topo_->node_added_hooks_[slot_].generation == generation_ &&
+         static_cast<bool>(topo_->node_added_hooks_[slot_].hook);
 }
 
 void Topology::notify_node_added(node::Node& node) {
-  for (auto& hook : node_added_hooks_) {
-    if (hook) hook(node);
+  for (auto& entry : node_added_hooks_) {
+    if (entry.hook) entry.hook(node);
   }
 }
 
 net::Link& Topology::add_link(const std::string& name, sim::Time latency,
                               std::uint64_t bandwidth_bps) {
-  auto link = std::make_unique<net::Link>(sim_, name, latency, bandwidth_bps);
+  auto link = std::make_unique<net::Link>(*sim_, name, latency, bandwidth_bps);
   net::Link& ref = *link;
   links_.push_back(std::move(link));
   link_by_name_[name] = &ref;
@@ -217,6 +252,31 @@ int Topology::hop_distance(const node::Node& a, const node::Node& b) {
   const int target = index_of(b);
   if (!sp.reachable(target)) return -1;
   return static_cast<int>(sp.distance[static_cast<std::size_t>(target)]);
+}
+
+std::vector<const net::Link*> Topology::cross_shard_links() const {
+  std::vector<const net::Link*> crossing;
+  for (const auto& link : links_) {
+    const auto& members = link->members();
+    bool crosses = false;
+    for (std::size_t i = 1; i < members.size() && !crosses; ++i) {
+      crosses = members[i]->shard() != members[0]->shard();
+    }
+    if (crosses) crossing.push_back(link.get());
+  }
+  return crossing;
+}
+
+sim::Time Topology::min_cross_shard_latency() const {
+  sim::Time min_latency = 0;
+  bool any = false;
+  for (const net::Link* link : cross_shard_links()) {
+    if (!any || link->latency() < min_latency) {
+      min_latency = link->latency();
+      any = true;
+    }
+  }
+  return any ? min_latency : 0;
 }
 
 }  // namespace mhrp::scenario

@@ -9,37 +9,106 @@
 // move). Routers get complete shortest-path tables.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/mobile_host.hpp"
 #include "node/host.hpp"
 #include "node/router.hpp"
 #include "routing/dijkstra.hpp"
+#include "sim/executive.hpp"
+#include "sim/sharded_executive.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace mhrp::scenario {
 
+class Topology;
+
+/// RAII registration of a node-added hook. Mirrors sim::EventHandle's
+/// {slot, generation} scheme: a handle for a hook that was already
+/// removed (or that belongs to a reused slot) is simply inert — remove()
+/// never invalidates someone else's registration. Destroying the handle
+/// removes the hook; the handle must not outlive its Topology.
+class [[nodiscard]] HookHandle {
+ public:
+  HookHandle() = default;
+  HookHandle(HookHandle&& other) noexcept
+      : topo_(std::exchange(other.topo_, nullptr)),
+        slot_(other.slot_),
+        generation_(other.generation_) {}
+  HookHandle& operator=(HookHandle&& other) noexcept {
+    if (this != &other) {
+      remove();
+      topo_ = std::exchange(other.topo_, nullptr);
+      slot_ = other.slot_;
+      generation_ = other.generation_;
+    }
+    return *this;
+  }
+  HookHandle(const HookHandle&) = delete;
+  HookHandle& operator=(const HookHandle&) = delete;
+  ~HookHandle() { remove(); }
+
+  /// Unregister the hook. Idempotent; a moved-from or stale handle is a
+  /// no-op.
+  void remove();
+  /// Whether this handle still names a live registration.
+  [[nodiscard]] bool active() const;
+
+ private:
+  friend class Topology;
+  HookHandle(Topology* topo, std::size_t slot, std::uint64_t generation)
+      : topo_(topo), slot_(slot), generation_(generation) {}
+
+  Topology* topo_ = nullptr;
+  std::size_t slot_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
 class Topology {
  public:
-  explicit Topology(std::uint64_t seed = 1) : rng_(seed) {}
+  /// `shards` == 0 (the default) runs on the single-threaded Simulator;
+  /// `shards` >= 1 runs on a ShardedExecutive with that many worker
+  /// threads. Nodes are placed on shard 0 unless add_router/add_host/
+  /// add_mobile_host say otherwise (or assign_shard moves them before
+  /// any of their events exist).
+  explicit Topology(std::uint64_t seed = 1, std::uint32_t shards = 0)
+      : rng_(seed) {
+    if (shards == 0) {
+      sim_ = std::make_unique<sim::Simulator>();
+    } else {
+      auto sharded = std::make_unique<sim::ShardedExecutive>(shards);
+      sharded_ = sharded.get();
+      sim_ = std::move(sharded);
+    }
+  }
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
-  [[nodiscard]] const sim::Simulator& sim() const { return sim_; }
+  /// The driver executive: run()/run_for() here. Under sharding this is
+  /// the ShardedExecutive itself; nodes hold per-shard views of it.
+  [[nodiscard]] sim::Executive& sim() { return *sim_; }
+  [[nodiscard]] const sim::Executive& sim() const { return *sim_; }
+  /// The sharded executive, or nullptr when single-threaded — for knobs
+  /// only it has (set_lookahead).
+  [[nodiscard]] sim::ShardedExecutive* sharded_executive() {
+    return sharded_;
+  }
   [[nodiscard]] util::Rng& rng() { return rng_; }
 
   // ---- Construction ----
 
-  node::Router& add_router(const std::string& name);
-  node::Host& add_host(const std::string& name);
+  node::Router& add_router(const std::string& name, std::uint32_t shard = 0);
+  node::Host& add_host(const std::string& name, std::uint32_t shard = 0);
   core::MobileHost& add_mobile_host(const std::string& name,
                                     net::IpAddress home_ip,
                                     int home_prefix_length,
-                                    core::MobileHostConfig config);
+                                    core::MobileHostConfig config,
+                                    std::uint32_t shard = 0);
   /// Adopt an externally constructed node (ownership transfers).
   node::Node& adopt(std::unique_ptr<node::Node> node);
 
@@ -52,6 +121,27 @@ class Topology {
   net::Interface& connect(node::Node& node, net::Link& link,
                           net::IpAddress ip, int prefix_length,
                           const std::string& if_name = "");
+
+  // ---- Partitioning ----
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return sim_->shard_count();
+  }
+  /// Move `node` to `shard`. Only legal before the node has scheduled
+  /// anything (timers, events) — i.e. during topology construction.
+  void assign_shard(node::Node& node, std::uint32_t shard) {
+    node.rebind_executive(executive_for(shard));
+  }
+  [[nodiscard]] std::uint32_t shard_of(node::Node& node) const {
+    return node.sim().shard_id();
+  }
+  /// Links whose member interfaces span more than one shard — the edges
+  /// the conservative protocol synchronizes across.
+  [[nodiscard]] std::vector<const net::Link*> cross_shard_links() const;
+  /// The minimum latency over cross_shard_links(): the largest sound
+  /// lookahead for the sharded executive. Returns 0 when no link crosses
+  /// shards (any lookahead is then sound).
+  [[nodiscard]] sim::Time min_cross_shard_latency() const;
 
   // ---- Routing ----
 
@@ -83,27 +173,40 @@ class Topology {
 
   /// Register a hook fired for every node added from now on (all
   /// construction paths: add_router/add_host/add_mobile_host/adopt).
-  /// Returns a token for remove_node_added_hook. Observers like Tracer
-  /// use this to cover nodes created after they attached.
-  std::size_t add_node_added_hook(NodeAddedHook hook);
-  /// Unregister; the token must come from add_node_added_hook. Safe to
-  /// call once for an already-removed token.
-  void remove_node_added_hook(std::size_t token);
+  /// Observers like Tracer use this to cover nodes created after they
+  /// attached; the returned RAII handle unregisters on destruction.
+  HookHandle add_node_added_hook(NodeAddedHook hook);
 
  private:
+  friend class HookHandle;
+
+  struct HookSlot {
+    NodeAddedHook hook;  // empty when the slot is free
+    std::uint64_t generation = 0;
+  };
+
+  /// The executive a node placed on `shard` should schedule through: the
+  /// Simulator itself single-threaded (shard must be 0), the shard's
+  /// view under sharding.
+  [[nodiscard]] sim::Executive& executive_for(std::uint32_t shard);
+
   void notify_node_added(node::Node& node);
 
   [[nodiscard]] routing::Graph build_graph() const;
   [[nodiscard]] int index_of(const node::Node& node) const;
 
-  sim::Simulator sim_;
+  // Declared first so it is destroyed last: node/link destructors cancel
+  // events through their executive views.
+  std::unique_ptr<sim::Executive> sim_;
+  sim::ShardedExecutive* sharded_ = nullptr;  // non-null iff shards >= 1
   util::Rng rng_;
   std::vector<std::unique_ptr<node::Node>> nodes_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::map<std::string, node::Node*> by_name_;
   std::map<std::string, net::Link*> link_by_name_;
   std::vector<bool> is_mobile_;  // parallel to nodes_
-  std::vector<NodeAddedHook> node_added_hooks_;  // removed slots are null
+  std::vector<HookSlot> node_added_hooks_;
+  std::vector<std::size_t> free_hook_slots_;
 };
 
 }  // namespace mhrp::scenario

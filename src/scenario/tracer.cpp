@@ -79,16 +79,16 @@ Tracer::Tracer(Topology& topo, std::ostream* out)
     : topo_(topo), out_(out != nullptr ? out : &std::clog) {
   for (const auto& node : topo_.nodes()) attach(*node);
   // Nodes created after the tracer must be covered too.
-  hook_token_ = topo_.add_node_added_hook(
+  hook_ = topo_.add_node_added_hook(
       [this](node::Node& node) { attach(node); });
 }
 
 // The hooks installed on nodes capture `this`, but they live exactly as
 // long as the nodes inside topo_ — a Tracer outliving its topology is
 // already UB (topo_ dangles). The node-added hook, however, would fire
-// into a dead Tracer if more nodes are added after it is destroyed, so
-// it is withdrawn here.
-Tracer::~Tracer() { topo_.remove_node_added_hook(hook_token_); }
+// into a dead Tracer if more nodes are added after it is destroyed; the
+// RAII HookHandle member withdraws it.
+Tracer::~Tracer() = default;
 
 bool Tracer::enabled_by_env() {
   const char* value = std::getenv("MHRP_TRACE");

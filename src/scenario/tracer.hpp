@@ -39,7 +39,7 @@ class Tracer {
   Topology& topo_;
   std::ostream* out_;
   std::uint64_t events_ = 0;
-  std::size_t hook_token_ = 0;
+  HookHandle hook_;
 };
 
 }  // namespace mhrp::scenario

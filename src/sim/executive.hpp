@@ -1,0 +1,137 @@
+// sim::Executive — the simulation-executive interface every consumer of
+// the clock and event queue programs against (nodes, timers, links, the
+// fault plane, the durable store). Two implementations exist:
+//
+//  * sim::Simulator — the classic single-threaded executive: one slab
+//    EventQueue, one clock, events strictly in (time, seq) order.
+//  * sim::ShardedExecutive — one EventQueue + worker thread per shard,
+//    synchronized conservatively in lookahead-sized windows (DESIGN.md
+//    §13). Every node lives on exactly one shard and schedules through a
+//    per-shard view of this interface; frames crossing shards travel as
+//    cross-shard messages (post()).
+//
+// Scheduling semantics shared by both:
+//  * at()/after() are SHARD-LOCAL: they schedule on the calling shard
+//    (for the Simulator, the only shard). Times in the past are clamped
+//    to now() — a local event can always legally fire "immediately".
+//  * post() targets an explicit shard. Cross-shard posts are subject to
+//    the lookahead contract: during a run, an event posted into another
+//    shard must land at or after the end of the current synchronization
+//    window, or the executive throws LookaheadViolation. There is no
+//    clamping across shards — a cross-shard send arriving "in the past"
+//    of the receiving shard is a protocol bug, never silently repaired
+//    (contrast with the local-clamp rule above).
+//  * post() returns no handle: a cross-shard event cannot be cancelled
+//    (the handle would race the receiving shard). cancel() of a handle
+//    owned by another shard's queue returns false, exactly like a handle
+//    whose event already fired.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_category.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/profiler.hpp"
+#include "sim/time.hpp"
+
+namespace mhrp::sim {
+
+/// A cross-shard post violated the conservative-synchronization contract:
+/// the event's timestamp falls inside (or before) the window the sending
+/// shard is still executing, so the receiving shard may already have
+/// advanced past it. This is always a modeling error — cross-shard
+/// latency must be >= the executive's lookahead — and is reported as a
+/// hard error rather than clamped (DESIGN.md §13).
+class LookaheadViolation : public std::logic_error {
+ public:
+  LookaheadViolation(Time when, Time window_end)
+      : std::logic_error("cross-shard post at t=" + std::to_string(when) +
+                         "us lands inside the open window (ends t=" +
+                         std::to_string(window_end) +
+                         "us): link latency < executive lookahead"),
+        when_(when),
+        window_end_(window_end) {}
+
+  [[nodiscard]] Time when() const { return when_; }
+  [[nodiscard]] Time window_end() const { return window_end_; }
+
+ private:
+  Time when_;
+  Time window_end_;
+};
+
+class Executive {
+ public:
+  using Action = EventQueue::Action;
+  using ShardId = std::uint32_t;
+
+  Executive() = default;
+  Executive(const Executive&) = delete;
+  Executive& operator=(const Executive&) = delete;
+  virtual ~Executive() = default;
+
+  /// Current simulated time of the calling shard. Monotone non-decreasing
+  /// across the run.
+  [[nodiscard]] virtual Time now() const = 0;
+
+  /// Schedule `action` at absolute simulated time `when` on the calling
+  /// shard; times in the past are clamped to now(). Discarding the handle
+  /// forfeits cancellation — cast to void at fire-and-forget sites.
+  [[nodiscard]] virtual EventHandle at(
+      Time when, Action action,
+      EventCategory category = EventCategory::kGeneral) = 0;
+
+  /// Schedule `action` after a relative delay (>= 0) from now, on the
+  /// calling shard.
+  [[nodiscard]] virtual EventHandle after(
+      Time delay, Action action,
+      EventCategory category = EventCategory::kGeneral) {
+    return at(now() + (delay < 0 ? 0 : delay), std::move(action), category);
+  }
+
+  /// Cancel a pending event scheduled on the calling shard. Returns false
+  /// when the event already fired or was cancelled — or when the handle
+  /// belongs to another shard's queue (cross-shard cancellation is
+  /// rejected, never forwarded).
+  virtual bool cancel(const EventHandle& handle) = 0;
+
+  /// Schedule `action` on shard `target` at absolute time `when`. On the
+  /// shard that owns the caller this is at(); crossing shards, `when`
+  /// must respect the lookahead contract (see LookaheadViolation) and no
+  /// handle is returned — a cross-shard event cannot be cancelled.
+  virtual void post(ShardId target, Time when, Action action,
+                    EventCategory category = EventCategory::kGeneral) = 0;
+
+  [[nodiscard]] virtual ShardId shard_count() const { return 1; }
+  /// The shard this executive (view) schedules onto. For a sharded
+  /// driver, resolves to the calling worker's shard mid-run.
+  [[nodiscard]] virtual ShardId shard_id() const { return 0; }
+
+  /// Run until every queue is empty or stop() is called. Returns events
+  /// executed (summed over shards).
+  virtual std::size_t run() = 0;
+  /// Run events with timestamp <= deadline; clocks advance to `deadline`
+  /// when the queues drain early. Returns events executed.
+  virtual std::size_t run_until(Time deadline) = 0;
+  /// Run for a relative duration from the current clock.
+  virtual std::size_t run_for(Time duration) = 0;
+  /// Request that the current run return: immediately on a single-threaded
+  /// executive, at the next window boundary on a sharded one.
+  virtual void stop() = 0;
+
+  [[nodiscard]] virtual std::size_t pending_events() const = 0;
+
+  /// Install (or clear, with nullptr) an event-loop profiler. Wall-time
+  /// observation only; replay-identical on or off. The sharded executive
+  /// rejects a profiler (its per-event wall times interleave across
+  /// threads) — profile single-threaded runs.
+  virtual void set_profiler(EventLoopProfiler* profiler) = 0;
+};
+
+/// Transitional name from the PR that introduced the interface; every
+/// in-tree caller says sim::Executive. Removed after one release.
+using SimulatorApi [[deprecated("use sim::Executive")]] = Executive;
+
+}  // namespace mhrp::sim

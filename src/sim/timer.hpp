@@ -1,4 +1,4 @@
-// RAII timers layered on the Simulator. A PeriodicTimer drives recurring
+// RAII timers layered on the simulation executive. A PeriodicTimer drives recurring
 // protocol behavior (agent advertisements, distance-vector updates); a
 // OneShotTimer drives timeouts (registration retransmission, movement
 // detection). Both cancel themselves on destruction, so a node that is
@@ -8,7 +8,7 @@
 #include <functional>
 #include <utility>
 
-#include "sim/simulator.hpp"
+#include "sim/executive.hpp"
 
 namespace mhrp::sim {
 
@@ -18,7 +18,7 @@ class PeriodicTimer {
  public:
   using Action = std::function<void()>;
 
-  PeriodicTimer(Simulator& sim, Time period, Action action,
+  PeriodicTimer(Executive& sim, Time period, Action action,
                 EventCategory category = EventCategory::kGeneral)
       : sim_(sim),
         period_(period),
@@ -55,7 +55,7 @@ class PeriodicTimer {
     action_();
   }
 
-  Simulator& sim_;
+  Executive& sim_;
   Time period_;
   Action action_;
   EventHandle handle_;
@@ -68,7 +68,7 @@ class OneShotTimer {
  public:
   using Action = std::function<void()>;
 
-  OneShotTimer(Simulator& sim, Action action,
+  OneShotTimer(Executive& sim, Action action,
                EventCategory category = EventCategory::kGeneral)
       : sim_(sim), action_(std::move(action)), category_(category) {}
 
@@ -99,7 +99,7 @@ class OneShotTimer {
   [[nodiscard]] bool armed() const { return armed_; }
 
  private:
-  Simulator& sim_;
+  Executive& sim_;
   Action action_;
   EventHandle handle_;
   EventCategory category_ = EventCategory::kGeneral;

@@ -4,7 +4,7 @@
 
 namespace mhrp::store {
 
-HomeStore::HomeStore(sim::Simulator& sim, const StoreOptions& options)
+HomeStore::HomeStore(sim::Executive& sim, const StoreOptions& options)
     : sim_(sim),
       options_(options),
       disk_(std::make_unique<SimDisk>(options.sector_size,

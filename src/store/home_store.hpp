@@ -22,7 +22,7 @@
 #include <memory>
 #include <string>
 
-#include "sim/simulator.hpp"
+#include "sim/executive.hpp"
 #include "sim/timer.hpp"
 #include "store/sim_disk.hpp"
 #include "store/store_options.hpp"
@@ -53,7 +53,7 @@ class HomeStore {
 
   /// Creates the disk and formats it (a fresh home agent). The simulator
   /// drives the interval-sync timer; with policy kSync no timer runs.
-  HomeStore(sim::Simulator& sim, const StoreOptions& options);
+  HomeStore(sim::Executive& sim, const StoreOptions& options);
   ~HomeStore();
 
   HomeStore(const HomeStore&) = delete;
@@ -106,7 +106,7 @@ class HomeStore {
   void note_append();
   void note_synced(const char* reason);
 
-  sim::Simulator& sim_;
+  sim::Executive& sim_;
   StoreOptions options_;
   std::unique_ptr<SimDisk> disk_;
   std::unique_ptr<WalStore> wal_;

@@ -4,7 +4,7 @@
 The repo's strongest correctness asset is byte-identical replay: every
 seeded run must produce the same digests with telemetry on or off, across
 chaos and crash fuzzing. Nothing in the compiler enforces that, so this
-tool does. It checks three rule families over src/ (see DESIGN.md §12):
+tool does. It checks four rule families over src/ (see DESIGN.md §12):
 
 Determinism rules
   wallclock       No wall-clock reads (std::chrono clocks, time(), ...)
@@ -26,6 +26,16 @@ Hot-path rules
   hotpath-alloc   No new/make_shared/make_unique or allocating container
                   growth in functions marked MHRP_HOT_PATH
                   (src/util/annotations.hpp).
+
+Sharding rules
+  shard-serial    A function annotated MHRP_REQUIRES(<shard>.serial) runs
+                  inside exactly one shard's serial domain (DESIGN.md §13).
+                  It may touch only that shard's event queue: accessing
+                  another object's `.queue`/`->queue`, or indexing the
+                  global `shards_` table, is a cross-shard data race that
+                  TSan would only catch when the interleaving happens to
+                  bite. Resolve the target shard and route through its
+                  mailbox before entering the serial domain.
 
 API rules
   nodiscard       Functions returning status/handle types (EventHandle,
@@ -74,6 +84,7 @@ RULES = (
     "unordered-iter",
     "pointer-keyed",
     "hotpath-alloc",
+    "shard-serial",
     "nodiscard",
 )
 DETERMINISM_RULES = {"wallclock", "unseeded-rng", "unordered-iter",
@@ -105,6 +116,12 @@ NODISCARD_TYPES = (
 )
 
 SUPPRESS_RE = re.compile(r"mhrp-lint:\s*allow\(([a-z\-,\s]+)\)\s*(.*)")
+
+# MHRP_REQUIRES(<base>.serial) marks a function as serial to one specific
+# shard. The member-capability form MHRP_REQUIRES(serial_) (EventQueue's
+# own lock) has no <base> and is out of scope for shard-serial.
+SERIAL_REQ_RE = re.compile(
+    r"MHRP_REQUIRES\s*\(\s*([A-Za-z_]\w*)\s*\.\s*serial\b")
 
 KEYWORDS_NOT_FUNCTIONS = {
     "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
@@ -140,6 +157,7 @@ class FunctionSpan:
     body_end: int        # line of the closing brace (0-based, inclusive)
     hot: bool = False
     exempt: bool = False
+    serial_of: str | None = None  # base of MHRP_REQUIRES(<base>.serial)
 
 
 @dataclass
@@ -270,6 +288,9 @@ def find_functions(code_lines: list[str], raw_lines: list[str]) -> list[Function
                     raw_lines[span.sig_start:span.body_start + 1])
                 span.hot = "MHRP_HOT_PATH" in sig_raw
                 span.exempt = "MHRP_DETERMINISM_EXEMPT" in sig_raw
+                sm = SERIAL_REQ_RE.search(sig_raw)
+                if sm:
+                    span.serial_of = sm.group(1)
                 fn_stack.append((span, depth))
             stmt_start = i + 1
             i += 1
@@ -392,6 +413,8 @@ ALLOC_PATTERNS = (
                 r"emplace|insert|try_emplace|resize|reserve|append)\s*\("),
      "allocating container growth"),
 )
+FOREIGN_QUEUE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*queue\b")
+SHARD_TABLE_RE = re.compile(r"\bshards_\s*\[")
 NODISCARD_FN_RE = re.compile(
     r"(?:^|[;{}]\s*|\n\s*)((?:virtual\s+|static\s+|constexpr\s+|inline\s+)*"
     r"(?:[\w:]+::)?(" + "|".join(NODISCARD_TYPES) + r"))\s+"
@@ -525,6 +548,20 @@ class TokenEngine:
                     if pat.search(line):
                         emit("hotpath-alloc", idx,
                              f"{what} in MHRP_HOT_PATH function")
+            if span and span.serial_of \
+                    and span.body_start <= idx <= span.body_end:
+                for m in FOREIGN_QUEUE_RE.finditer(line):
+                    if m.group(1) != span.serial_of:
+                        emit("shard-serial", idx,
+                             f"touches '{m.group(1)}' queue inside "
+                             f"MHRP_REQUIRES({span.serial_of}.serial): a "
+                             "serial-domain function may touch only its own "
+                             "shard's queue (route via the mailbox)")
+                if SHARD_TABLE_RE.search(line):
+                    emit("shard-serial", idx,
+                         "indexes the shard table inside a shard-serial "
+                         "function: resolve the target shard before "
+                         "entering the serial domain")
         out += self._scan_nodiscard(fm)
         return out
 

@@ -1,0 +1,50 @@
+// Fixture: shard-serial rule. Functions annotated
+// MHRP_REQUIRES(<shard>.serial) run inside one shard's serial domain and
+// may touch only that shard's queue. Touching another object's queue or
+// indexing the global shard table fires; the same accesses in unannotated
+// functions (or against the annotated shard itself) are clean.
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+struct MiniQueue {
+  void push(std::uint64_t v) { items.push_back(v); }
+  std::vector<std::uint64_t> items;
+};
+
+struct MiniShard {
+  util::ExecutiveSerial serial;
+  MiniQueue queue;
+  std::uint64_t now = 0;
+};
+
+class Exec {
+ public:
+  void run_window(MiniShard& shard) MHRP_REQUIRES(shard.serial) {
+    shard.queue.push(shard.now);  // own queue: clean
+  }
+
+  void leak_to_peer(MiniShard& shard, MiniShard& other)
+      MHRP_REQUIRES(shard.serial) {
+    other.queue.push(shard.now);       // EXPECT-LINT: shard-serial
+    shards_[0].queue.push(shard.now);  // EXPECT-LINT: shard-serial
+  }
+
+  void drain_legacy(MiniShard& shard) MHRP_REQUIRES(shard.serial) {
+    // mhrp-lint: allow(shard-serial) quiesced-only path; workers parked
+    shards_[1].queue.push(shard.now);
+  }
+
+  void coordinator_rebalance() {  // unannotated: free to touch any shard
+    shards_[0].queue.push(0);
+    shards_[1].queue.push(0);
+  }
+
+ private:
+  std::vector<MiniShard> shards_;
+};
+
+}  // namespace fixture

@@ -84,8 +84,9 @@ def test_fixture_corpus() -> None:
     check(not unexpected, "no findings beyond the EXPECT-LINT annotations")
     rules_covered = {rule for rule, _, _ in actual}
     check(rules_covered == {"wallclock", "unseeded-rng", "unordered-iter",
-                            "pointer-keyed", "hotpath-alloc", "nodiscard"},
-          "all six rules have at least one firing fixture")
+                            "pointer-keyed", "hotpath-alloc", "shard-serial",
+                            "nodiscard"},
+          "all seven rules have at least one firing fixture")
 
 
 def test_suppressions_listed() -> None:
