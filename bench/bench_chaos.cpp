@@ -49,6 +49,7 @@ struct ChaosPoint {
   int routers;
   int mobiles;
   double fault_rate;  // cell outages/sec; other rates derived from it
+  bool dv = false;    // dynamic DV routing plane instead of static routes
 };
 
 struct ChaosResult {
@@ -64,6 +65,8 @@ struct ChaosResult {
   scenario::PercentileSummary recovery{};
   scenario::PercentileSummary outage_loss{};
   scenario::PercentileSummary staleness{};
+  scenario::PercentileSummary handoff{};
+  scenario::PercentileSummary convergence{};  // DV points only
 };
 
 ChaosResult run_point(ChaosPoint point, double sim_secs) {
@@ -75,6 +78,7 @@ ChaosResult run_point(ChaosPoint point, double sim_secs) {
   opt.correspondents = 4;
   opt.mean_dwell = sim::seconds(3);
   opt.protocol.seed = 1;
+  if (point.dv) opt.protocol.routing = routing::dv::Mode::kDv;
   if (point.fault_rate > 0) {
     opt.chaos.enabled = true;
     opt.chaos.fault_seed = 0xc4a05;
@@ -110,6 +114,8 @@ ChaosResult run_point(ChaosPoint point, double sim_secs) {
   r.recovery = scenario::summarize(world.recovery_times());
   r.outage_loss = scenario::summarize(world.outage_losses());
   r.staleness = scenario::summarize(world.binding_staleness());
+  r.handoff = scenario::summarize(world.handoff_latencies());
+  r.convergence = scenario::summarize(world.convergence_times());
   return r;
 }
 
@@ -149,6 +155,8 @@ void write_json(const std::string& path, bool small,
     std::fprintf(f, "      \"mobiles\": %d,\n", r.point.mobiles);
     std::fprintf(f, "      \"fault_rate_per_sec\": %.3f,\n",
                  r.point.fault_rate);
+    std::fprintf(f, "      \"routing\": \"%s\",\n",
+                 r.point.dv ? "dv" : "static");
     std::fprintf(f, "      \"sim_seconds\": %.1f,\n", r.sim_seconds);
     std::fprintf(f, "      \"wall_seconds\": %.4f,\n", r.wall_seconds);
     std::fprintf(f, "      \"events\": %llu,\n",
@@ -170,7 +178,9 @@ void write_json(const std::string& path, bool small,
         static_cast<unsigned long long>(r.faults.impairment_bursts));
     write_summary(f, "recovery_s", r.recovery, ",");
     write_summary(f, "outage_loss_pkts", r.outage_loss, ",");
-    write_summary(f, "binding_staleness_s", r.staleness, "");
+    write_summary(f, "binding_staleness_s", r.staleness, ",");
+    write_summary(f, "handoff_s", r.handoff, ",");
+    write_summary(f, "convergence_s", r.convergence, "");
     std::fprintf(f, "    }%s\n", i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -200,13 +210,19 @@ int main(int argc, char** argv) {
   std::vector<ChaosPoint> points;
   double sim_secs = 0;
   if (small) {
-    points = {{16, 8, 0.0}, {16, 8, 0.2}};
+    points = {{16, 8, 0.0}, {16, 8, 0.2}, {16, 8, 0.2, true}};
     sim_secs = 10;
   } else {
     // A no-fault baseline (events/sec comparable against the matching
-    // BENCH_scale.json point), then fault rate x size.
-    points = {{64, 64, 0.0},  {64, 64, 0.1},   {64, 64, 0.3},
-              {144, 128, 0.1}, {256, 256, 0.1}};
+    // BENCH_scale.json point), then fault rate x size on static routes,
+    // then the same faulted points on the DV plane — the convergence_s
+    // series measures time-to-reconverge per link-fault epoch, and the
+    // staleness/handoff columns show whether route churn leaks into the
+    // mobility protocol's latencies.
+    points = {{64, 64, 0.0},        {64, 64, 0.1},
+              {64, 64, 0.3},        {144, 128, 0.1},
+              {256, 256, 0.1},      {64, 64, 0.1, true},
+              {64, 64, 0.3, true},  {144, 128, 0.1, true}};
     sim_secs = 60;
   }
 
@@ -215,9 +231,10 @@ int main(int argc, char** argv) {
     ChaosResult r = run_point(p, sim_secs);
     results.push_back(r);
     std::printf(
-        "\n  N=%d M=%d fault_rate=%.2f/s | %.0f events/s | "
+        "\n  N=%d M=%d fault_rate=%.2f/s routing=%s | %.0f events/s | "
         "faults %llu/%llu links, %llu/%llu nodes\n",
-        r.point.routers, r.point.mobiles, r.point.fault_rate, r.events_per_s,
+        r.point.routers, r.point.mobiles, r.point.fault_rate,
+        r.point.dv ? "dv" : "static", r.events_per_s,
         static_cast<unsigned long long>(r.faults.link_failures),
         static_cast<unsigned long long>(r.faults.link_recoveries),
         static_cast<unsigned long long>(r.faults.node_crashes),
@@ -226,6 +243,8 @@ int main(int argc, char** argv) {
       print_summary_row("recovery s", r.recovery);
       print_summary_row("loss pkts", r.outage_loss);
       print_summary_row("staleness s", r.staleness);
+      print_summary_row("handoff s", r.handoff);
+      if (r.point.dv) print_summary_row("converge s", r.convergence);
     }
   }
 

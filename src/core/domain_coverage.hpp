@@ -16,7 +16,7 @@
 #pragma once
 
 #include "core/agent.hpp"
-#include "node/dv_routing.hpp"
+#include "routing/dv/dv_process.hpp"
 
 namespace mhrp::core {
 
@@ -24,7 +24,7 @@ class DomainCoverage {
  public:
   /// `agent` must be a home agent on the same node that runs `dv`.
   /// Overwrites the agent's on_binding_changed hook.
-  DomainCoverage(MhrpAgent& agent, node::DistanceVector& dv)
+  DomainCoverage(MhrpAgent& agent, routing::dv::DvProcess& dv)
       : agent_(agent), dv_(dv) {
     agent_.on_binding_changed = [this](net::IpAddress mobile_host,
                                        net::IpAddress foreign_agent) {
@@ -51,7 +51,7 @@ class DomainCoverage {
 
  private:
   MhrpAgent& agent_;
-  node::DistanceVector& dv_;
+  routing::dv::DvProcess& dv_;
   std::uint64_t routes_advertised_ = 0;
   std::uint64_t routes_withdrawn_ = 0;
 };

@@ -22,6 +22,15 @@ class FrameSink {
  public:
   virtual void on_frame(class Interface& iface, Frame frame) = 0;
 
+  /// The attached link of `iface` transitioned up or down (fault plane).
+  /// Default: ignore — carrier-sensing consumers (the DV routing
+  /// process, via node::Node::on_interface_state) override the node's
+  /// forwarding of this.
+  virtual void on_link_state(class Interface& iface, bool up) {
+    (void)iface;
+    (void)up;
+  }
+
  protected:
   ~FrameSink() = default;
 };
@@ -62,6 +71,10 @@ class Interface {
 
   /// Called by the link to hand a received frame to the owning node.
   void deliver(Frame frame) { sink_.on_frame(*this, std::move(frame)); }
+
+  /// Called by the link (on this interface's shard) when its carrier
+  /// changes; forwards to the owning node.
+  void notify_link_state(bool up) { sink_.on_link_state(*this, up); }
 
  private:
   friend class Link;  // maintains link_ on attach/detach

@@ -38,11 +38,31 @@ bool Link::has_member(const Interface& iface) const {
 void Link::fail() {
   if (!up_.exchange(false, std::memory_order_relaxed)) return;
   if (observer_ != nullptr) observer_->on_state_changed(*this, false, sim_.now());
+  notify_members(false);
 }
 
 void Link::recover() {
   if (up_.exchange(true, std::memory_order_relaxed)) return;
   if (observer_ != nullptr) observer_->on_state_changed(*this, true, sim_.now());
+  notify_members(true);
+}
+
+// Carrier-state notification: each member node learns that its attached
+// link flapped, so a routing process can withdraw (and later
+// re-advertise) routes instead of timing them out in silence. A member
+// on a foreign shard hears about it one lookahead later, like any other
+// cross-shard signal — which is also its physical propagation budget.
+void Link::notify_members(bool up) {
+  for (Interface* member : members_) {
+    const auto target = member->shard();
+    if (target == sim_.shard_id()) {
+      member->notify_link_state(up);
+    } else {
+      sim_.post(target, sim_.now() + sim_.lookahead(),
+                [member, up] { member->notify_link_state(up); },
+                sim::EventCategory::kFaultInjection);
+    }
+  }
 }
 
 void Link::set_impairments(const LinkImpairments& impairments, util::Rng& rng) {

@@ -160,6 +160,7 @@ class Link {
       std::size_t frame_bytes) const;
   MHRP_HOT_PATH void schedule_delivery(Interface* member, Frame frame,
                                        sim::Time delay);
+  void notify_members(bool up);
 
   sim::Executive& sim_;
   std::string name_;

@@ -215,6 +215,12 @@ class Node : public net::FrameSink {
   /// mirror of net::LinkObserver::on_state_changed.
   std::function<void(bool up)> on_state_changed;
 
+  /// Fired when the link attached to one of this node's interfaces
+  /// changes carrier state (fault plane fail/recover). The routing::dv
+  /// process chains itself here to withdraw routes learned through a
+  /// dead link and re-advertise on recovery.
+  std::function<void(net::Interface& iface, bool up)> on_interface_state;
+
   // ---- Counters & hooks ----
 
   struct Counters {
@@ -237,6 +243,9 @@ class Node : public net::FrameSink {
 
   // ---- FrameSink ----
   void on_frame(net::Interface& iface, net::Frame frame) override;
+  void on_link_state(net::Interface& iface, bool up) override {
+    if (on_interface_state) on_interface_state(iface, up);
+  }
 
  private:
   struct PendingArp {

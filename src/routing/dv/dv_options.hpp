@@ -1,0 +1,53 @@
+// Knobs for the dynamic distance-vector routing plane (routing::dv).
+//
+// The defaults follow the RFC 2453 subset ROADMAP item 3 calls for,
+// scaled down one order of magnitude so a simulated minute exercises
+// several full timeout/garbage-collection cycles: periodic updates
+// every 10s (RIP: 30s), route timeout 30s (RIP: 180s), garbage
+// collection 20s after timeout (RIP: 120s). Triggered updates are
+// delayed by a small seeded-random interval, as RFC 2453 §3.10.1
+// requires, so an update storm after a topology change coalesces
+// instead of synchronizing.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mhrp::routing::dv {
+
+/// Which intra-domain routing plane a scenario world runs.
+enum class Mode : std::uint8_t {
+  kStatic,  // converged shortest paths installed once at build time
+  kDv,      // per-router DvProcess; static routes remain a fallback tier
+};
+
+struct DvOptions {
+  /// Period of full-table advertisements on every interface. Each firing
+  /// is jittered by ±`periodic_jitter` of the period (seeded), so
+  /// routers sharing a segment do not self-synchronize (RFC 2453 §3.8).
+  sim::Time update_period = sim::seconds(10);
+  double periodic_jitter = 0.1;
+
+  /// A route not refreshed for this long is marked unreachable (metric
+  /// 16), withdrawn from the node's forwarding table, and advertised as
+  /// poison until garbage collection deletes it.
+  sim::Time route_timeout = sim::seconds(30);
+  /// How long an unreachable route is kept (and poisoned in updates)
+  /// before deletion.
+  sim::Time gc_delay = sim::seconds(20);
+
+  /// A triggered update fires after a uniform seeded delay in
+  /// [triggered_min, triggered_max] (RFC 2453 §3.10.1's 1–5s window,
+  /// scaled to the simulation's millisecond link latencies).
+  sim::Time triggered_min = sim::millis(10);
+  sim::Time triggered_max = sim::millis(100);
+
+  /// Split horizon: never advertise a route back out the interface it
+  /// was learned on. With poisoned reverse, advertise it there with
+  /// metric infinity instead of omitting it (RFC 2453 §3.4.3).
+  bool split_horizon = true;
+  bool poisoned_reverse = true;
+};
+
+}  // namespace mhrp::routing::dv

@@ -9,12 +9,15 @@ namespace {
 
 // The per-length buckets are unordered maps; anything observable (DV
 // advertisement bodies, diagnostic dumps) must emit them in sorted key
-// order so output is byte-identical regardless of install order.
+// order so output is byte-identical regardless of install order. Only
+// the active (best-tier) route of each slot is observable.
 std::vector<const Route*> sorted_bucket(
-    const std::unordered_map<std::uint32_t, Route>& slot) {
+    const std::unordered_map<std::uint32_t, std::vector<Route>>& slot_map) {
   std::vector<const Route*> out;
-  out.reserve(slot.size());
-  for (const auto& [key, route] : slot) out.push_back(&route);
+  out.reserve(slot_map.size());
+  for (const auto& [key, slot] : slot_map) {
+    if (!slot.empty()) out.push_back(&slot.front());
+  }
   std::sort(out.begin(), out.end(), [](const Route* a, const Route* b) {
     return a->prefix.address().raw() < b->prefix.address().raw();
   });
@@ -24,29 +27,62 @@ std::vector<const Route*> sorted_bucket(
 }  // namespace
 
 void RoutingTable::install(const Route& route) {
-  auto& slot = by_length_[static_cast<std::size_t>(route.prefix.length())];
-  auto [it, inserted] = slot.try_emplace(key_of(route.prefix), route);
-  if (!inserted) {
-    if (it->second.kind == RouteKind::kConnected &&
-        route.kind != RouteKind::kConnected) {
-      return;  // connected routes win
-    }
-    it->second = route;
+  auto& slot_map = by_length_[static_cast<std::size_t>(route.prefix.length())];
+  auto [it, inserted] = slot_map.try_emplace(key_of(route.prefix));
+  Slot& slot = it->second;
+  if (inserted) ++count_;
+  const int priority = priority_of(route.kind);
+  auto pos = slot.begin();
+  while (pos != slot.end() && priority_of(pos->kind) > priority) ++pos;
+  if (pos != slot.end() && priority_of(pos->kind) == priority) {
+    *pos = route;  // same tier: replace in place
     return;
   }
-  ++count_;
+  slot.insert(pos, route);
 }
 
 void RoutingTable::remove(const net::Prefix& prefix) {
-  auto& slot = by_length_[static_cast<std::size_t>(prefix.length())];
-  if (slot.erase(key_of(prefix)) > 0) --count_;
+  auto& slot_map = by_length_[static_cast<std::size_t>(prefix.length())];
+  if (slot_map.erase(key_of(prefix)) > 0) --count_;
+}
+
+bool RoutingTable::remove_route(const net::Prefix& prefix, RouteKind kind) {
+  auto& slot_map = by_length_[static_cast<std::size_t>(prefix.length())];
+  auto it = slot_map.find(key_of(prefix));
+  if (it == slot_map.end()) return false;
+  Slot& slot = it->second;
+  auto pos = std::find_if(slot.begin(), slot.end(),
+                          [&](const Route& r) { return r.kind == kind; });
+  if (pos == slot.end()) return false;
+  slot.erase(pos);
+  if (slot.empty()) {
+    slot_map.erase(it);
+    --count_;
+  }
+  return true;
+}
+
+bool RoutingTable::update_metric(const net::Prefix& prefix, RouteKind kind,
+                                 int metric) {
+  auto& slot_map = by_length_[static_cast<std::size_t>(prefix.length())];
+  auto it = slot_map.find(key_of(prefix));
+  if (it == slot_map.end()) return false;
+  for (Route& r : it->second) {
+    if (r.kind == kind) {
+      r.metric = metric;
+      return true;
+    }
+  }
+  return false;
 }
 
 void RoutingTable::remove_kind(RouteKind kind) {
-  for (auto& slot : by_length_) {
-    for (auto it = slot.begin(); it != slot.end();) {
-      if (it->second.kind == kind) {
-        it = slot.erase(it);
+  for (auto& slot_map : by_length_) {
+    for (auto it = slot_map.begin(); it != slot_map.end();) {
+      Slot& slot = it->second;
+      std::erase_if(slot, [&](const Route& r) { return r.kind == kind; });
+      if (slot.empty()) {
+        it = slot_map.erase(it);
         --count_;
       } else {
         ++it;
@@ -57,25 +93,39 @@ void RoutingTable::remove_kind(RouteKind kind) {
 
 const Route* RoutingTable::lookup(net::IpAddress dst) const {
   for (int length = 32; length >= 0; --length) {
-    const auto& slot = by_length_[static_cast<std::size_t>(length)];
-    if (slot.empty()) continue;
-    auto it = slot.find(net::Prefix(dst, length).address().raw());
-    if (it != slot.end()) return &it->second;
+    const auto& slot_map = by_length_[static_cast<std::size_t>(length)];
+    if (slot_map.empty()) continue;
+    auto it = slot_map.find(net::Prefix(dst, length).address().raw());
+    if (it != slot_map.end() && !it->second.empty()) {
+      return &it->second.front();
+    }
   }
   return nullptr;
 }
 
 const Route* RoutingTable::find(const net::Prefix& prefix) const {
-  const auto& slot = by_length_[static_cast<std::size_t>(prefix.length())];
-  auto it = slot.find(key_of(prefix));
-  return it == slot.end() ? nullptr : &it->second;
+  const auto& slot_map = by_length_[static_cast<std::size_t>(prefix.length())];
+  auto it = slot_map.find(key_of(prefix));
+  if (it == slot_map.end() || it->second.empty()) return nullptr;
+  return &it->second.front();
+}
+
+const Route* RoutingTable::find_kind(const net::Prefix& prefix,
+                                     RouteKind kind) const {
+  const auto& slot_map = by_length_[static_cast<std::size_t>(prefix.length())];
+  auto it = slot_map.find(key_of(prefix));
+  if (it == slot_map.end()) return nullptr;
+  for (const Route& r : it->second) {
+    if (r.kind == kind) return &r;
+  }
+  return nullptr;
 }
 
 std::vector<Route> RoutingTable::routes() const {
   std::vector<Route> out;
   out.reserve(count_);
-  for (const auto& slot : by_length_) {
-    for (const Route* route : sorted_bucket(slot)) out.push_back(*route);
+  for (const auto& slot_map : by_length_) {
+    for (const Route* route : sorted_bucket(slot_map)) out.push_back(*route);
   }
   return out;
 }

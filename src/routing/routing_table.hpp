@@ -5,10 +5,17 @@
 // routing domain with one agent — and redirect-learned entries, which
 // share this table exactly as §4.3 describes cache agents sharing the
 // ICMP-redirect table ("with a different type field on the table entry").
+//
+// Each prefix holds a small stack of routes ordered by tier: connected
+// routes outrank dynamically learned ones (DV, host-specific,
+// redirect), which outrank the statically installed fallback. Lookup
+// always answers with the best tier, so a DV-learned route overrides
+// the static route for the same prefix while it is alive, and
+// withdrawing it (remove_route) re-exposes the static fallback instead
+// of blackholing — the substrate the routing::dv plane converges on.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,8 +28,7 @@ class Interface;
 
 namespace mhrp::routing {
 
-/// Provenance of a route; doubles as replacement priority (a connected
-/// route is never displaced by a dynamic one for the same prefix).
+/// Provenance of a route; determines its tier (see priority_of).
 enum class RouteKind : std::uint8_t {
   kConnected,  // directly attached subnet
   kStatic,     // installed by topology setup ("converged standard routing")
@@ -30,6 +36,23 @@ enum class RouteKind : std::uint8_t {
   kHostSpecific,  // /32 advertised for a mobile host (paper §3)
   kRedirect,   // learned from ICMP redirect
 };
+
+/// Replacement/preference tier. Higher wins lookup; equal tiers replace
+/// each other in place (a redirect and a DV-learned route for the same
+/// prefix share one slot, as §4.3's shared table does).
+constexpr int priority_of(RouteKind kind) {
+  switch (kind) {
+    case RouteKind::kConnected:
+      return 3;
+    case RouteKind::kDynamic:
+    case RouteKind::kHostSpecific:
+    case RouteKind::kRedirect:
+      return 2;
+    case RouteKind::kStatic:
+      return 1;
+  }
+  return 0;
+}
 
 struct Route {
   net::Prefix prefix;
@@ -43,36 +66,60 @@ struct Route {
 
 class RoutingTable {
  public:
-  /// Insert or replace the route for `route.prefix`. A connected route is
-  /// only replaced by another connected route.
+  /// Insert `route` into its tier for `route.prefix`: replaces any
+  /// existing route of equal tier, shadows lower tiers, and is shadowed
+  /// by higher ones (a connected route is never displaced by a dynamic
+  /// or static install).
   void install(const Route& route);
 
+  /// Drop every route for `prefix`, all tiers.
   void remove(const net::Prefix& prefix);
+
+  /// Withdraw the route of exactly `kind`'s tier for `prefix`, if its
+  /// occupant is of that kind; any lower-tier route (e.g. the static
+  /// fallback under a DV-learned route) becomes active again. Returns
+  /// true when a route was removed.
+  bool remove_route(const net::Prefix& prefix, RouteKind kind);
+
+  /// Update the metric of the `kind`-tier route for `prefix` in place
+  /// (no reordering, next hop untouched). Returns false when no route
+  /// of that kind exists.
+  bool update_metric(const net::Prefix& prefix, RouteKind kind, int metric);
 
   /// Drop every route of the given kind (used by DV refresh and by
   /// host-specific route withdrawal).
   void remove_kind(RouteKind kind);
 
-  /// Longest-prefix match. Returns nullptr when no route covers `dst`.
+  /// Longest-prefix match on active (best-tier) routes. Returns nullptr
+  /// when no route covers `dst`.
   [[nodiscard]] const Route* lookup(net::IpAddress dst) const;
 
-  /// Exact-prefix fetch (tests, DV comparisons).
+  /// Exact-prefix fetch of the active route (tests, DV comparisons).
   [[nodiscard]] const Route* find(const net::Prefix& prefix) const;
 
+  /// Exact fetch of the `kind`-tier route even when shadowed (tests).
+  [[nodiscard]] const Route* find_kind(const net::Prefix& prefix,
+                                       RouteKind kind) const;
+
+  /// Number of distinct prefixes with at least one route.
   [[nodiscard]] std::size_t size() const { return count_; }
 
-  /// Every route, for diagnostics and DV advertisement.
+  /// The active route of every prefix, for diagnostics and DV
+  /// advertisement. Shadowed fallback routes are not emitted.
   [[nodiscard]] std::vector<Route> routes() const;
 
   [[nodiscard]] std::string to_string() const;
 
  private:
+  /// Routes for one prefix, descending tier; at most one per tier.
+  using Slot = std::vector<Route>;
+
   static std::uint32_t key_of(const net::Prefix& p) {
     return p.address().raw();
   }
 
   // One exact-match map per prefix length; LPM scans lengths descending.
-  std::array<std::unordered_map<std::uint32_t, Route>, 33> by_length_;
+  std::array<std::unordered_map<std::uint32_t, Slot>, 33> by_length_;
   std::size_t count_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "scenario/mhrp_world.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "scenario/audit_hooks.hpp"
@@ -66,6 +67,21 @@ MhrpWorld::MhrpWorld(MhrpWorldOptions opts)
   }
 
   topo.install_static_routes();
+
+  if (opts.protocol.routing == routing::dv::Mode::kDv) {
+    // Jitter seeds come from a dedicated stream (not topo.rng()), so
+    // enabling DV cannot shift any other seeded draw.
+    util::Rng dv_seeds(opts.protocol.seed ^ 0x64767274ULL);
+    for (const auto& node : topo.nodes()) {
+      auto* router = dynamic_cast<node::Router*>(node.get());
+      if (router == nullptr) continue;
+      auto process = std::make_unique<routing::dv::DvProcess>(
+          *router, opts.protocol.dv,
+          dv_seeds.uniform(0, std::numeric_limits<std::uint64_t>::max() - 1));
+      process->start();
+      dv_processes.push_back(std::move(process));
+    }
+  }
 
   core::AgentConfig ha_config;
   ha_config.home_agent = true;

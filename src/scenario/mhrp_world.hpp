@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/agent.hpp"
+#include "routing/dv/dv_process.hpp"
 #include "scenario/protocol_options.hpp"
 #include "scenario/topology.hpp"
 
@@ -46,6 +47,10 @@ class MhrpWorld {
   std::unique_ptr<store::HomeStore> ha_store;
   std::vector<std::unique_ptr<core::MhrpAgent>> fas;
   std::vector<std::unique_ptr<core::MhrpAgent>> corr_agents;
+  /// One DV routing process per router, populated only under
+  /// protocol.routing == Mode::kDv (static routes stay as the fallback
+  /// tier). Started at construction.
+  std::vector<std::unique_ptr<routing::dv::DvProcess>> dv_processes;
 
   [[nodiscard]] net::IpAddress mobile_address(int i) const {
     return net::IpAddress::of(10, 1, 0, static_cast<std::uint8_t>(100 + i));

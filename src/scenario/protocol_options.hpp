@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "routing/dv/dv_options.hpp"
 #include "sim/time.hpp"
 #include "store/store_options.hpp"
 
@@ -32,6 +33,14 @@ struct ProtocolOptions {
   /// Enabling it gives every home agent a SimDisk-backed WAL whose sync
   /// policy decides when registration acks may leave.
   store::StoreOptions store;
+  /// Intra-domain routing plane. kStatic (default) installs converged
+  /// shortest paths once at build time; kDv runs a routing::dv::DvProcess
+  /// on every router (static routes stay installed as the fallback tier,
+  /// so forwarding works while DV converges — and reconverges after a
+  /// fault instead of blackholing).
+  routing::dv::Mode routing = routing::dv::Mode::kStatic;
+  /// Timer/behavior knobs for the DV plane (ignored under kStatic).
+  routing::dv::DvOptions dv;
 };
 
 }  // namespace mhrp::scenario

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/packet_auditor.hpp"
 #include "scenario/audit_hooks.hpp"
 #include "scenario/replay_digest.hpp"
 #include "telemetry/json_writer.hpp"
@@ -185,6 +187,47 @@ ScaleWorld::ScaleWorld(ScaleWorldOptions opts)
 
   topo.install_static_routes();
 
+  if (options.protocol.routing == routing::dv::Mode::kDv) {
+    // Per-process jitter seeds come from a dedicated stream so turning
+    // DV on cannot perturb the movement/workload draws from topo.rng().
+    util::Rng dv_seeds(options.protocol.seed ^ 0x64767274ULL);
+    route_change_lanes_.assign(static_cast<std::size_t>(topo.shard_count()),
+                               {});
+    dv_processes.reserve(routers.size());
+    for (std::size_t r = 0; r < routers.size(); ++r) {
+      auto process = std::make_unique<routing::dv::DvProcess>(
+          *routers[r], options.protocol.dv,
+          dv_seeds.uniform(0, std::numeric_limits<std::uint64_t>::max() - 1));
+      // Route-change instants feed the convergence series; the hook
+      // fires on the router's own shard, so each lane has one writer.
+      process->on_route_change = [this, r](const net::Prefix&, int) {
+        record_series(route_change_lanes_, static_cast<std::uint32_t>(r),
+                      sim::to_seconds(topo.sim().now()));
+      };
+      // The counting-to-infinity detector files an audit violation; the
+      // audit layer is a single-threaded instrument (like the packet
+      // auditor attached below), so sharded runs keep only the counter.
+      if (options.shards == 0) {
+        process->on_counting_to_infinity = [this, r](const net::Prefix& prefix,
+                                                     int metric) {
+          analysis::PacketAuditor& auditor = audit::global_auditor();
+          if (!auditor.registry().enabled(
+                  analysis::InvariantId::kCountingToInfinity)) {
+            return;
+          }
+          auditor.report().add(
+              {analysis::InvariantId::kCountingToInfinity, 0, topo.sim().now(),
+               routers[r]->name(),
+               "metric for " + prefix.to_string() +
+                   " rose repeatedly from the same next hop (now " +
+                   std::to_string(metric) + ")"});
+        };
+      }
+      process->start();
+      dv_processes.push_back(std::move(process));
+    }
+  }
+
   core::AgentConfig ha_config;
   ha_config.home_agent = true;
   ha_config.cache_agent = true;
@@ -271,12 +314,14 @@ void ScaleWorld::bind_instruments() {
             [this] { return static_cast<double>(total_agent_state()); });
   reg.probe("world.agent_state_busiest",
             [this] { return static_cast<double>(busiest_node_state()); });
+  if (!dv_processes.empty()) bind_dv_probes(reg, "dv", dv_processes);
   handoff_latency_h_ = &reg.histogram("handoff.latency_s");
   recovery_time_h_ = &reg.histogram("recovery.time_s");
   outage_loss_h_ = &reg.histogram("outage.loss_pkts");
   binding_staleness_h_ = &reg.histogram("binding.staleness_s");
   ha_lost_bindings_h_ = &reg.histogram("ha.lost_bindings");
   ha_recovery_h_ = &reg.histogram("ha.recovery_s");
+  convergence_h_ = &reg.histogram("routing.convergence_s");
 }
 
 ScaleWorld::~ScaleWorld() {
@@ -457,6 +502,14 @@ void ScaleWorld::arm_chaos() {
 
 void ScaleWorld::note_fault(const faults::FaultEvent& event) {
   using faults::FaultKind;
+  // Each link fail/recover opens a convergence epoch: the DV plane's
+  // route churn that follows, up to the next epoch, is this fault's
+  // reconvergence. Link events always execute on the fault plane's own
+  // shard, so the epoch list has a single writer.
+  if (!dv_processes.empty() && (event.kind == FaultKind::kLinkFail ||
+                                event.kind == FaultKind::kLinkRecover)) {
+    fault_epochs_.push_back(topo.sim().now());
+  }
   // The home agent is node target ha_target_ (registered after the FAs).
   // Its crash is observed *at the crash* — on_fault fires after the
   // event applies, so at kNodeCrash the agent's map still holds the
@@ -659,6 +712,30 @@ const std::vector<double>& ScaleWorld::outage_losses() const {
   return outage_loss_merged_;
 }
 
+const std::vector<double>& ScaleWorld::convergence_times() const {
+  convergence_merged_.clear();
+  if (fault_epochs_.empty()) return convergence_merged_;
+  // Route-change entries carry their own instant as the value, so the
+  // canonical (time, router) merge yields the change instants in
+  // ascending order.
+  const std::vector<double> changes = merge_lanes(route_change_lanes_);
+  for (std::size_t k = 0; k < fault_epochs_.size(); ++k) {
+    const double from = sim::to_seconds(fault_epochs_[k]);
+    const double until = k + 1 < fault_epochs_.size()
+                             ? sim::to_seconds(fault_epochs_[k + 1])
+                             : std::numeric_limits<double>::infinity();
+    if (until <= from) continue;  // coincident epochs: one window
+    // Last route change inside [from, until) closes this epoch's
+    // reconvergence; an epoch with no churn (the fault changed nothing
+    // the plane routes on) contributes no sample.
+    auto lo = std::lower_bound(changes.begin(), changes.end(), from);
+    auto hi = std::lower_bound(changes.begin(), changes.end(), until);
+    if (lo == hi) continue;
+    convergence_merged_.push_back(*(hi - 1) - from);
+  }
+  return convergence_merged_;
+}
+
 void ScaleWorld::refresh_series_metrics() const {
   handoff_latency_h_->reset();
   for (double v : handoff_latencies()) handoff_latency_h_->record(v);
@@ -666,6 +743,8 @@ void ScaleWorld::refresh_series_metrics() const {
   for (double v : recovery_times()) recovery_time_h_->record(v);
   outage_loss_h_->reset();
   for (double v : outage_losses()) outage_loss_h_->record(v);
+  convergence_h_->reset();
+  for (double v : convergence_times()) convergence_h_->record(v);
 }
 
 std::string ScaleWorld::metrics_digest() const {
@@ -707,6 +786,7 @@ std::string ScaleWorld::metrics_digest() const {
     series("ha_lost_bindings", ha_lost_bindings_);
     series("ha_recovery", ha_recovery_times_);
   }
+  if (!dv_processes.empty()) series("convergence", convergence_times());
   return out.str();
 }
 
@@ -734,6 +814,9 @@ std::string ScaleWorld::metrics_json() const {
   json.value(options.protocol.seed);
   json.key("chaos");
   json.value(options.chaos.enabled);
+  json.key("routing");
+  json.value(options.protocol.routing == routing::dv::Mode::kDv ? "dv"
+                                                                : "static");
   json.end_object();
   json.key("now_us");
   json.value(topo.sim().now());

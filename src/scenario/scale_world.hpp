@@ -15,6 +15,7 @@
 
 #include "core/agent.hpp"
 #include "faults/fault_plane.hpp"
+#include "routing/dv/dv_process.hpp"
 #include "scenario/metrics.hpp"
 #include "store/home_store.hpp"
 #include "scenario/protocol_options.hpp"
@@ -126,6 +127,11 @@ class ScaleWorld {
   std::unique_ptr<store::HomeStore> ha_store;
   std::vector<std::unique_ptr<core::MhrpAgent>> fas;
   std::vector<std::unique_ptr<core::MhrpAgent>> corr_agents;
+  /// One DV routing process per backbone router (aligned with
+  /// `routers`), populated only under protocol.routing == Mode::kDv.
+  /// Started at construction; their triggered/periodic timers live on
+  /// each router's shard.
+  std::vector<std::unique_ptr<routing::dv::DvProcess>> dv_processes;
 
   [[nodiscard]] net::IpAddress mobile_address(int i) const;
 
@@ -161,6 +167,12 @@ class ScaleWorld {
   [[nodiscard]] const std::vector<double>& binding_staleness() const {
     return binding_staleness_;
   }
+  /// Time-to-reconverge of the DV plane, one entry per link-fault epoch
+  /// that produced route churn: seconds from the link fail/recover to
+  /// the LAST DV route change observed anywhere before the next epoch
+  /// (canonical (time, router) merge order, like every other series).
+  /// Empty under static routing or with chaos disabled.
+  [[nodiscard]] const std::vector<double>& convergence_times() const;
   /// One entry per HA crash: away-bindings present before the crash that
   /// recovery did not restore. All zeros under a durable sync policy;
   /// under kAsync this is the measured cost of acking early.
@@ -259,6 +271,13 @@ class ScaleWorld {
   SeriesLanes outage_loss_lanes_;
   mutable std::vector<double> recovery_merged_;
   mutable std::vector<double> outage_loss_merged_;
+  /// DV route-change instants (entry value = seconds), one lane per
+  /// shard, written from each router's on_route_change on its own shard.
+  SeriesLanes route_change_lanes_;
+  /// Link fail/recover instants, appended by note_fault (which runs on
+  /// the fault plane's shard for link events — a single writer).
+  std::vector<sim::Time> fault_epochs_;
+  mutable std::vector<double> convergence_merged_;
   // HA-side series: written only from the home agent's shard (shard 0).
   std::vector<double> binding_staleness_;
   std::size_t ha_target_ = static_cast<std::size_t>(-1);  // fault-plane index
@@ -279,6 +298,7 @@ class ScaleWorld {
   telemetry::Histogram* binding_staleness_h_ = nullptr;
   telemetry::Histogram* ha_lost_bindings_h_ = nullptr;
   telemetry::Histogram* ha_recovery_h_ = nullptr;
+  telemetry::Histogram* convergence_h_ = nullptr;
   std::uint64_t events_executed_ = 0;
   ScaleRunStats last_totals_;
   bool started_ = false;

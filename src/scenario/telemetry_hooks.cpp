@@ -203,4 +203,36 @@ void bind_fault_probes(telemetry::MetricRegistry& registry,
                  [p] { return u(p->stats().disk_error_windows); });
 }
 
+void bind_dv_probes(
+    telemetry::MetricRegistry& registry, const std::string& prefix,
+    const std::vector<std::unique_ptr<routing::dv::DvProcess>>& processes) {
+  const auto* ps = &processes;
+  auto sum = [ps](std::uint64_t routing::dv::DvStats::*field) {
+    std::uint64_t total = 0;
+    for (const auto& p : *ps) total += p->stats().*field;
+    return static_cast<double>(total);
+  };
+  using S = routing::dv::DvStats;
+  registry.probe(prefix + ".updates_sent",
+                 [sum] { return sum(&S::updates_sent); });
+  registry.probe(prefix + ".updates_received",
+                 [sum] { return sum(&S::updates_received); });
+  registry.probe(prefix + ".periodic_rounds",
+                 [sum] { return sum(&S::periodic_rounds); });
+  registry.probe(prefix + ".triggered_updates",
+                 [sum] { return sum(&S::triggered_updates); });
+  registry.probe(prefix + ".route_changes",
+                 [sum] { return sum(&S::route_changes); });
+  registry.probe(prefix + ".routes_withdrawn",
+                 [sum] { return sum(&S::routes_withdrawn); });
+  registry.probe(prefix + ".routes_expired",
+                 [sum] { return sum(&S::routes_expired); });
+  registry.probe(prefix + ".poisons_received",
+                 [sum] { return sum(&S::poisons_received); });
+  registry.probe(prefix + ".counting_to_infinity",
+                 [sum] { return sum(&S::counting_to_infinity); });
+  registry.probe(prefix + ".malformed_updates",
+                 [sum] { return sum(&S::malformed_updates); });
+}
+
 }  // namespace mhrp::scenario

@@ -19,6 +19,7 @@
 #include "core/agent.hpp"
 #include "core/mobile_host.hpp"
 #include "faults/fault_plane.hpp"
+#include "routing/dv/dv_process.hpp"
 #include "sim/profiler.hpp"
 #include "store/home_store.hpp"
 #include "telemetry/metric_registry.hpp"
@@ -89,5 +90,12 @@ void bind_store_probes(telemetry::MetricRegistry& registry,
 void bind_fault_probes(telemetry::MetricRegistry& registry,
                        const std::string& prefix,
                        const faults::FaultPlane& plane);
+
+/// Register probes summing every DV routing process's counters under
+/// `prefix` (e.g. "dv"). The vector and its processes must outlive the
+/// registry.
+void bind_dv_probes(
+    telemetry::MetricRegistry& registry, const std::string& prefix,
+    const std::vector<std::unique_ptr<routing::dv::DvProcess>>& processes);
 
 }  // namespace mhrp::scenario

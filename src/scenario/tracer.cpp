@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/encapsulation.hpp"
 #include "net/icmp.hpp"
@@ -77,6 +78,15 @@ std::string describe(const net::Packet& packet) {
 
 Tracer::Tracer(Topology& topo, std::ostream* out)
     : topo_(topo), out_(out != nullptr ? out : &std::clog) {
+  // Fail fast instead of interleaving: the tracer writes one stream from
+  // every node's hooks, which under a sharded executive would be written
+  // concurrently by several workers (garbled lines, nondeterministic
+  // order). Same policy as ShardedExecutive::set_profiler.
+  if (topo_.sharded_executive() != nullptr) {
+    throw std::logic_error(
+        "Tracer: tracing requires a single-threaded world (shards == 0); "
+        "rerun the scenario unsharded to trace it (DESIGN.md §13)");
+  }
   for (const auto& node : topo_.nodes()) attach(*node);
   // Nodes created after the tracer must be covered too.
   hook_ = topo_.add_node_added_hook(

@@ -20,6 +20,12 @@ class Tracer {
   /// (defaults to std::clog). Nodes added to the topology later are
   /// attached too, via the topology's node-added hook, so construction
   /// order no longer silently leaves late nodes untraced.
+  ///
+  /// Throws std::logic_error when the topology runs on a sharded
+  /// executive: worker threads would interleave the output stream. Run
+  /// the scenario with shards == 0 to trace it (DESIGN.md §13); the
+  /// event-loop profiler has the same restriction
+  /// (ShardedExecutive::set_profiler).
   explicit Tracer(Topology& topo, std::ostream* out = nullptr);
   ~Tracer();
 

@@ -20,6 +20,7 @@ enum class EventCategory : std::uint8_t {
   kWorkload,        // scenario traffic generators (CBR flows, probes)
   kStoreSync,       // home-agent store WAL sync timers
   kFaultInjection,  // fault-plane schedule (link down/up, crashes)
+  kRouting,         // distance-vector timers (periodic/triggered/sweep)
   kCount,
 };
 
@@ -45,6 +46,8 @@ inline const char* event_category_name(EventCategory cat) {
       return "store_sync";
     case EventCategory::kFaultInjection:
       return "fault_injection";
+    case EventCategory::kRouting:
+      return "routing";
     case EventCategory::kCount:
       break;
   }

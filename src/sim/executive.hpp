@@ -108,6 +108,10 @@ class Executive {
   /// The shard this executive (view) schedules onto. For a sharded
   /// driver, resolves to the calling worker's shard mid-run.
   [[nodiscard]] virtual ShardId shard_id() const { return 0; }
+  /// The conservative lookahead window (0 when single-threaded). A
+  /// cross-shard post() from inside an event is always legal at
+  /// `now() + lookahead()` or later.
+  [[nodiscard]] virtual Time lookahead() const { return 0; }
 
   /// Run until every queue is empty or stop() is called. Returns events
   /// executed (summed over shards).

@@ -86,7 +86,7 @@ class ShardedExecutive final : public Executive {
     }
     lookahead_ = lookahead;
   }
-  [[nodiscard]] Time lookahead() const { return lookahead_; }
+  [[nodiscard]] Time lookahead() const override { return lookahead_; }
 
   /// Per-shard work accounting, read while quiesced. `busy_ns` is the
   /// worker's own CPU time (CLOCK_THREAD_CPUTIME_ID) spent executing
@@ -339,6 +339,9 @@ class ShardedExecutive final : public Executive {
       return owner_.shard_count();
     }
     [[nodiscard]] ShardId shard_id() const override { return shard_.id; }
+    [[nodiscard]] Time lookahead() const override {
+      return owner_.lookahead();
+    }
 
     std::size_t run() override { return owner_.run(); }
     std::size_t run_until(Time deadline) override {

@@ -32,7 +32,7 @@ struct DomainWorld {
   node::Host* mobile;  // a plain host standing in for the mobile side
   net::Link* home_lan;
   net::Link* cell;
-  std::unique_ptr<node::DistanceVector> dv1, dv2, dv3;
+  std::unique_ptr<routing::dv::DvProcess> dv1, dv2, dv3;
   std::unique_ptr<core::MhrpAgent> ha;
   std::unique_ptr<core::MhrpAgent> fa;
   std::unique_ptr<core::DomainCoverage> coverage;
@@ -69,11 +69,11 @@ struct DomainWorld {
     for (auto* r : {r1, r2, r3}) {
       r->routing_table().remove_kind(routing::RouteKind::kStatic);
     }
-    node::DvConfig dv_config;
+    routing::dv::DvOptions dv_config;
     dv_config.update_period = sim::seconds(1);
-    dv1 = std::make_unique<node::DistanceVector>(*r1, dv_config);
-    dv2 = std::make_unique<node::DistanceVector>(*r2, dv_config);
-    dv3 = std::make_unique<node::DistanceVector>(*r3, dv_config);
+    dv1 = std::make_unique<routing::dv::DvProcess>(*r1, dv_config, 1);
+    dv2 = std::make_unique<routing::dv::DvProcess>(*r2, dv_config, 2);
+    dv3 = std::make_unique<routing::dv::DvProcess>(*r3, dv_config, 3);
     dv1->start();
     dv2->start();
     dv3->start();

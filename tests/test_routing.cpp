@@ -2,8 +2,8 @@
 // distance-vector service with §3 host-specific routes.
 #include <gtest/gtest.h>
 
-#include "node/dv_routing.hpp"
 #include "routing/dijkstra.hpp"
+#include "routing/dv/dv_process.hpp"
 #include "routing/routing_table.hpp"
 #include "scenario/topology.hpp"
 
@@ -62,6 +62,54 @@ TEST(RoutingTable, RemoveKindSweepsOnlyThatKind) {
   EXPECT_EQ(t.lookup(ip("10.2.0.1")), nullptr);
 }
 
+TEST(RoutingTable, RemoveRouteWithdrawsOneTierAndExposesFallback) {
+  // The DV plane's withdrawal contract: removing the dynamic route for a
+  // prefix re-exposes the static route underneath it (the fallback tier),
+  // and removing the last tier empties the prefix out of the table.
+  RoutingTable t;
+  const auto prefix = net::Prefix::parse("10.7.0.0/24");
+  t.install({prefix, ip("1.1.1.1"), nullptr, 1, RouteKind::kStatic});
+  t.install({prefix, ip("2.2.2.2"), nullptr, 3, RouteKind::kDynamic});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(ip("10.7.0.9"))->next_hop, ip("2.2.2.2"));
+
+  EXPECT_TRUE(t.remove_route(prefix, RouteKind::kDynamic));
+  EXPECT_EQ(t.lookup(ip("10.7.0.9"))->next_hop, ip("1.1.1.1"));
+  EXPECT_FALSE(t.remove_route(prefix, RouteKind::kDynamic));  // already gone
+
+  EXPECT_TRUE(t.remove_route(prefix, RouteKind::kStatic));
+  EXPECT_EQ(t.lookup(ip("10.7.0.9")), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RoutingTable, UpdateMetricRewritesInPlace) {
+  RoutingTable t;
+  const auto prefix = net::Prefix::parse("10.8.0.0/24");
+  t.install({prefix, ip("2.2.2.2"), nullptr, 3, RouteKind::kDynamic});
+  EXPECT_TRUE(t.update_metric(prefix, RouteKind::kDynamic, 7));
+  EXPECT_EQ(t.find(prefix)->metric, 7);
+  EXPECT_EQ(t.find(prefix)->next_hop, ip("2.2.2.2"));
+  // Absent prefix or absent tier: no-op, reported as such.
+  EXPECT_FALSE(t.update_metric(prefix, RouteKind::kStatic, 1));
+  EXPECT_FALSE(t.update_metric(net::Prefix::parse("10.9.0.0/24"),
+                               RouteKind::kDynamic, 1));
+}
+
+TEST(RoutingTable, FindKindSeesShadowedTiers) {
+  RoutingTable t;
+  const auto prefix = net::Prefix::parse("10.1.0.0/24");
+  t.install({prefix, net::kUnspecified, nullptr, 0, RouteKind::kConnected});
+  t.install({prefix, ip("5.5.5.5"), nullptr, 3, RouteKind::kDynamic});
+  // The forwarding view shows the connected route; the shadowed dynamic
+  // tier is still inspectable (the DV process reads its own entries back
+  // this way without disturbing forwarding).
+  EXPECT_TRUE(t.lookup(ip("10.1.0.7"))->next_hop.is_unspecified());
+  const Route* shadowed = t.find_kind(prefix, RouteKind::kDynamic);
+  ASSERT_NE(shadowed, nullptr);
+  EXPECT_EQ(shadowed->next_hop, ip("5.5.5.5"));
+  EXPECT_EQ(t.find_kind(prefix, RouteKind::kStatic), nullptr);
+}
+
 TEST(Dijkstra, FindsShortestPathsAndFirstHops) {
   // 0 - 1 - 2
   //  \     /
@@ -102,6 +150,45 @@ TEST(Dijkstra, RespectsEdgeWeights) {
   EXPECT_EQ(sp.first_hop[1], 2);
 }
 
+TEST(Dijkstra, EqualCostTieBreakIsInsertionOrderInvariant) {
+  // A 2x3 grid where every inner vertex is reachable over several
+  // equal-cost paths. The tie-break (lower predecessor id wins) must pin
+  // the exact same next hops whether the adjacency lists are built
+  // forwards or backwards — install_static_routes feeds first_hop
+  // straight into next-hop addresses, so any drift here would change
+  // forwarding bytes between two identically-seeded worlds.
+  //
+  //   0 - 1 - 2
+  //   |   |   |
+  //   3 - 4 - 5
+  const std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {3, 4}, {4, 5}, {0, 3}, {1, 4}, {2, 5}};
+  routing::Graph forward(6);
+  for (auto [a, b] : edges) {
+    forward[std::size_t(a)].push_back({b, 1.0});
+    forward[std::size_t(b)].push_back({a, 1.0});
+  }
+  routing::Graph backward(6);
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    backward[std::size_t(it->second)].push_back({it->first, 1.0});
+    backward[std::size_t(it->first)].push_back({it->second, 1.0});
+  }
+
+  auto render = [](const routing::ShortestPaths& sp) {
+    std::string out;
+    for (std::size_t v = 0; v < sp.first_hop.size(); ++v) {
+      out += std::to_string(v) + ":" + std::to_string(sp.first_hop[v]) + " ";
+    }
+    return out;
+  };
+  const auto sp_f = routing::shortest_paths(forward, 0);
+  const auto sp_b = routing::shortest_paths(backward, 0);
+  // Vertex 4 (via 1, not 3) and vertex 5 (via 1, not 3) pin the
+  // tie-break itself; the byte equality pins insertion-order invariance.
+  EXPECT_EQ(render(sp_f), "0:-1 1:1 2:1 3:3 4:1 5:1 ");
+  EXPECT_EQ(render(sp_f), render(sp_b));
+}
+
 // ---- Distance vector ----
 
 struct DvWorld {
@@ -109,7 +196,7 @@ struct DvWorld {
   node::Router* r1;
   node::Router* r2;
   node::Router* r3;
-  std::unique_ptr<node::DistanceVector> dv1, dv2, dv3;
+  std::unique_ptr<routing::dv::DvProcess> dv1, dv2, dv3;
 
   DvWorld() {
     // r1 -(lanA)- r2 -(lanB)- r3, with stub LANs on r1 and r3.
@@ -126,11 +213,11 @@ struct DvWorld {
     topo.connect(*r3, lan_b, ip("10.0.2.2"), 24);
     topo.connect(*r1, stub1, ip("10.1.0.1"), 24);
     topo.connect(*r3, stub3, ip("10.3.0.1"), 24);
-    node::DvConfig config;
+    routing::dv::DvOptions config;
     config.update_period = sim::seconds(1);
-    dv1 = std::make_unique<node::DistanceVector>(*r1, config);
-    dv2 = std::make_unique<node::DistanceVector>(*r2, config);
-    dv3 = std::make_unique<node::DistanceVector>(*r3, config);
+    dv1 = std::make_unique<routing::dv::DvProcess>(*r1, config, 1);
+    dv2 = std::make_unique<routing::dv::DvProcess>(*r2, config, 2);
+    dv3 = std::make_unique<routing::dv::DvProcess>(*r3, config, 3);
   }
 };
 
@@ -179,13 +266,13 @@ TEST(DistanceVector, RoutesExpireWhenNeighborGoesSilent) {
 
   w.dv3->stop();
   w.dv2->stop();  // r2 stops refreshing what it learned from r3
-  // r1 keeps hearing nothing; after route_lifetime the entry is swept on
-  // the next update cycle.
+  // r1 keeps hearing nothing; after route_timeout its sweep timer
+  // poisons the entry and withdraws it from the forwarding table, and
+  // after gc_delay more the entry is deleted outright.
   w.topo.sim().run_for(sim::seconds(120));
-  // Expiry is lazy (checked on update); trigger one.
-  w.dv1->send_updates();
   const auto* route = w.r1->routing_table().lookup(ip("10.3.0.5"));
   EXPECT_EQ(route, nullptr);
+  EXPECT_GE(w.dv1->stats().routes_expired, 1u);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 
 #include "scenario/scale_world.hpp"
 #include "scenario/topology.hpp"
+#include "scenario/tracer.hpp"
 #include "sim/executive.hpp"
 #include "sim/sharded_executive.hpp"
 #include "sim/profiler.hpp"
@@ -253,6 +254,18 @@ TEST(ShardedScaleWorld, RejectsUnshardableConfigurations) {
   bursty.chaos.enabled = true;
   bursty.chaos.loss_bursts_per_sec = 0.2;
   EXPECT_THROW(ScaleWorld{bursty}, std::invalid_argument);
+}
+
+TEST(ShardedScaleWorld, TracerConstructionFailsFast) {
+  // ScaleWorld's own validation rejects telemetry.trace under shards,
+  // but a Tracer can also be attached to a bare Topology by hand; it
+  // must refuse a sharded world up front (one output stream, many
+  // workers) instead of interleaving garbage, mirroring
+  // ShardedExecutive::set_profiler.
+  scenario::Topology sharded(1, 2);
+  EXPECT_THROW(scenario::Tracer{sharded}, std::logic_error);
+  scenario::Topology serial(1, 0);
+  EXPECT_NO_THROW(scenario::Tracer{serial});
 }
 
 TEST(ShardedScaleWorld, ChaosRunIsDeterministicAcrossRepeats) {

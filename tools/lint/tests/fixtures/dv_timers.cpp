@@ -1,0 +1,39 @@
+// Fixture: the determinism rules a DV routing process is most tempted
+// to break. Timer jitter must come from the scenario-seeded stream and
+// simulated time, never from the host: wall-clock periodic scheduling
+// and ambient-entropy jitter seeds both destroy byte-identical replay
+// (two runs would draw different triggered-update delays, reordering
+// every advertisement downstream). Mirrors src/routing/dv/, which arms
+// its timers from util::Rng(seed) and sim::Executive::now() only.
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+long long bad_periodic_deadline() {
+  // Scheduling the next periodic update off the host clock: two runs
+  // of the same world disagree on every advertisement instant.
+  auto now = std::chrono::steady_clock::now();  // EXPECT-LINT: wallclock
+  return now.time_since_epoch().count() + 10'000'000;
+}
+
+std::uint64_t bad_triggered_jitter() {
+  // RFC 2453 wants triggered updates delayed by random jitter, but
+  // drawing it from ambient entropy unseats the replay contract.
+  std::random_device entropy;  // EXPECT-LINT: unseeded-rng
+  return 10'000 + entropy() % 90'000;
+}
+
+std::uint64_t good_triggered_jitter(std::uint64_t seed, std::uint64_t lo,
+                                    std::uint64_t hi) {
+  // The per-process seeded engine: deterministic, replayable jitter.
+  std::mt19937_64 jitter(seed);
+  return lo + jitter() % (hi - lo + 1);
+}
+
+long long good_periodic_deadline(long long sim_now_us) {
+  // Simulated time in, simulated time out.
+  return sim_now_us + 10'000'000;
+}
+
+}  // namespace fixture
